@@ -1,0 +1,135 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all [-quick]
+//	experiments -run fig1,table4,netperf
+//
+// Experiments: fig1, table1, table4 (includes table5), fig5, table6,
+// table7, netperf, composition, ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/nofreelunch/gadget-planner/internal/benchprog"
+	"github.com/nofreelunch/gadget-planner/internal/experiments"
+	"github.com/nofreelunch/gadget-planner/internal/planner"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	which := flag.String("run", "all", "comma-separated experiments, or all")
+	quick := flag.Bool("quick", false, "trim the corpus for a fast pass")
+	seed := flag.Int64("seed", 42, "obfuscation seed")
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	if *quick {
+		opts.Programs = benchprog.Benchmarks()[:3]
+		opts.Planner = planner.Options{MaxPlans: 12, MaxNodes: 6000, Timeout: 15 * time.Second}
+	}
+
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*which, ",") {
+		selected[strings.TrimSpace(name)] = true
+	}
+	want := func(name string) bool { return selected["all"] || selected[name] }
+
+	if want("fig1") {
+		rows, err := experiments.Fig1(opts)
+		if err != nil {
+			return err
+		}
+		section("Fig. 1 — gadget counts, original vs obfuscated")
+		fmt.Print(experiments.RenderFig1(rows))
+	}
+	if want("table1") {
+		rows, err := experiments.Table1(opts)
+		if err != nil {
+			return err
+		}
+		section("Table I — gadget classes and increase rate")
+		fmt.Print(experiments.RenderTable1(rows))
+	}
+	if want("table4") {
+		rows, gp, err := experiments.Table4(opts)
+		if err != nil {
+			return err
+		}
+		section("Table IV — tools x obfuscations payload matrix")
+		fmt.Print(experiments.RenderTable4(rows))
+		section("Table V — chain properties (Gadget-Planner)")
+		fmt.Print(experiments.RenderTable5(experiments.Table5(gp)))
+	}
+	if want("composition") {
+		rows, err := experiments.PoolComposition(opts)
+		if err != nil {
+			return err
+		}
+		section("Pool composition — gadget classes available per build")
+		fmt.Print(experiments.RenderPoolComposition(rows))
+	}
+	if want("fig5") {
+		rows, err := experiments.Fig5(opts)
+		if err != nil {
+			return err
+		}
+		section("Fig. 5 — per-obfuscation attack surface")
+		fmt.Print(experiments.RenderFig5(rows))
+	}
+	if want("table6") {
+		rows, err := experiments.Table6(opts)
+		if err != nil {
+			return err
+		}
+		section("Table VI — SPEC-style programs")
+		fmt.Print(experiments.RenderTable6(rows))
+	}
+	if want("table7") {
+		rows, err := experiments.Table7(opts)
+		if err != nil {
+			return err
+		}
+		section("Table VII — per-stage performance (obfuscated netperf)")
+		fmt.Print(experiments.RenderTable7(rows))
+	}
+	if want("netperf") {
+		res, err := experiments.Netperf(opts)
+		if err != nil {
+			return err
+		}
+		section("Section VI-C — netperf case study")
+		fmt.Print(experiments.RenderNetperf(res))
+		fmt.Println()
+	}
+	if want("ablation") {
+		sub, err := experiments.AblationSubsumption(opts)
+		if err != nil {
+			return err
+		}
+		section("Ablation — subsumption testing")
+		fmt.Print(experiments.RenderAblationSubsumption(sub))
+		cls, err := experiments.AblationGadgetClasses(opts)
+		if err != nil {
+			return err
+		}
+		section("Ablation — gadget classes")
+		fmt.Print(experiments.RenderAblationClasses(cls))
+	}
+	return nil
+}
+
+func section(title string) {
+	fmt.Printf("\n===== %s =====\n", title)
+}

@@ -1,0 +1,82 @@
+// Command gadgetcount reports gadget statistics for a binary or a built-in
+// benchmark across obfuscation configurations — the data behind the paper's
+// Fig. 1 and Table I.
+//
+// Usage:
+//
+//	gadgetcount -bin prog.sbf
+//	gadgetcount -prog crc            # original vs LLVM-Obf vs Tigress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/nofreelunch/gadget-planner/internal/benchprog"
+	"github.com/nofreelunch/gadget-planner/internal/gadget"
+	"github.com/nofreelunch/gadget-planner/internal/obfuscate"
+	"github.com/nofreelunch/gadget-planner/internal/sbf"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gadgetcount:", err)
+		os.Exit(1)
+	}
+}
+
+var classes = []gadget.JmpType{
+	gadget.TypeReturn, gadget.TypeUDJ, gadget.TypeUIJ,
+	gadget.TypeCDJ, gadget.TypeCIJ, gadget.TypeSyscall,
+}
+
+func run() error {
+	binPath := flag.String("bin", "", "SBF binary")
+	progName := flag.String("prog", "", "built-in benchmark to compare across obfuscations")
+	seed := flag.Int64("seed", 42, "obfuscation seed")
+	flag.Parse()
+
+	if *binPath != "" {
+		data, err := os.ReadFile(*binPath)
+		if err != nil {
+			return err
+		}
+		bin, err := sbf.Unmarshal(data)
+		if err != nil {
+			return err
+		}
+		report(*binPath, bin)
+		return nil
+	}
+	if *progName == "" {
+		return fmt.Errorf("need -bin or -prog")
+	}
+	p, ok := benchprog.ByName(*progName)
+	if !ok {
+		return fmt.Errorf("unknown program %q", *progName)
+	}
+	for _, cfg := range []struct {
+		name   string
+		passes []obfuscate.Pass
+	}{
+		{"original", nil},
+		{"llvm-obf", obfuscate.LLVMObf()},
+		{"tigress", obfuscate.Tigress()},
+	} {
+		bin, err := benchprog.Build(p, cfg.passes, *seed)
+		if err != nil {
+			return err
+		}
+		report(fmt.Sprintf("%s/%s", *progName, cfg.name), bin)
+	}
+	return nil
+}
+
+func report(label string, bin *sbf.Binary) {
+	counts := gadget.Count(bin, 10)
+	fmt.Printf("%s: text=%d bytes, %d gadgets\n", label, bin.CodeSize(), gadget.TotalCount(counts))
+	for _, t := range classes {
+		fmt.Printf("  %-8s %7d\n", t, counts[t])
+	}
+}

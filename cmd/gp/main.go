@@ -1,0 +1,91 @@
+// Command gp runs the Gadget-Planner pipeline on an SBF binary: gadget
+// extraction, subsumption testing, partial-order planning, and payload
+// construction with emulator verification.
+//
+// Usage:
+//
+//	gp -bin prog.sbf [-goal execve|mprotect|mmap|all] [-max 8] [-dump] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/nofreelunch/gadget-planner/internal/core"
+	"github.com/nofreelunch/gadget-planner/internal/planner"
+	"github.com/nofreelunch/gadget-planner/internal/sbf"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	binPath := flag.String("bin", "", "SBF binary to analyze")
+	goalName := flag.String("goal", "all", "attack goal: execve, mprotect, mmap, or all")
+	maxPlans := flag.Int("max", 8, "maximum payloads per goal")
+	dump := flag.Bool("dump", false, "dump payload bytes")
+	verbose := flag.Bool("v", false, "print chains")
+	timeout := flag.Duration("timeout", 30*time.Second, "planning timeout per goal")
+	flag.Parse()
+
+	if *binPath == "" {
+		return fmt.Errorf("need -bin")
+	}
+	data, err := os.ReadFile(*binPath)
+	if err != nil {
+		return err
+	}
+	bin, err := sbf.Unmarshal(data)
+	if err != nil {
+		return err
+	}
+
+	cfg := core.Config{Planner: planner.Options{MaxPlans: *maxPlans, Timeout: *timeout}}
+	analysis := core.Analyze(bin, cfg)
+	fmt.Printf("extraction: %d raw candidates, %d supported\n",
+		analysis.RawPool.Stats.RawCandidates, analysis.RawPool.Size())
+	fmt.Printf("subsumption: %s\n", analysis.SubsumeStats)
+
+	goals := planner.Goals()
+	if *goalName != "all" {
+		goals = nil
+		for _, g := range planner.Goals() {
+			if g.Name == *goalName {
+				goals = []planner.Goal{g}
+			}
+		}
+		if goals == nil {
+			return fmt.Errorf("unknown goal %q", *goalName)
+		}
+	}
+
+	for _, goal := range goals {
+		atk := analysis.FindPayloads(goal)
+		fmt.Printf("\n== %s: %d verified payloads (search expanded %d nodes) ==\n",
+			goal.Name, len(atk.Payloads), atk.Search.Expanded)
+		for i, pl := range atk.Payloads {
+			fmt.Printf("payload %d: %d bytes, %d gadgets\n", i+1, len(pl.Bytes), len(pl.Chain))
+			if *verbose {
+				for _, g := range pl.Chain {
+					fmt.Printf("    %s\n", g)
+				}
+			}
+			if *dump {
+				fmt.Print(pl.Dump())
+			}
+		}
+	}
+
+	fmt.Println("\nstage timings:")
+	for _, t := range analysis.Timings {
+		fmt.Printf("  %-20s %10s %8.1f MB allocated\n",
+			t.Name, t.Duration.Round(time.Millisecond), float64(t.AllocBytes)/(1<<20))
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+// Command gpc compiles MiniC programs to SBF executables, optionally
+// applying obfuscation passes — the repository's counterpart of running
+// gcc/Obfuscator-LLVM/Tigress in the paper's pipeline.
+//
+// Usage:
+//
+//	gpc -src prog.c -o prog.sbf [-obf llvm|tigress|sub,bcf,fla,enc,virt] [-seed 42] [-run]
+//	gpc -prog crc -o crc.sbf -obf tigress -run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/nofreelunch/gadget-planner/internal/benchprog"
+	"github.com/nofreelunch/gadget-planner/internal/codegen"
+	"github.com/nofreelunch/gadget-planner/internal/mir"
+	"github.com/nofreelunch/gadget-planner/internal/obfuscate"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gpc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	srcPath := flag.String("src", "", "MiniC source file")
+	progName := flag.String("prog", "", "built-in benchmark program name (see -list)")
+	out := flag.String("o", "", "output SBF path")
+	obfSpec := flag.String("obf", "", "obfuscation: llvm, tigress, or comma-separated passes (sub,bcf,fla,enc,virt)")
+	seed := flag.Int64("seed", 42, "obfuscation seed")
+	execute := flag.Bool("run", false, "run the binary in the emulator after building")
+	selfmod := flag.Int("selfmod", 0, "apply self-modification with this XOR key (1-255)")
+	list := flag.Bool("list", false, "list built-in benchmark programs")
+	flag.Parse()
+
+	if *list {
+		for _, p := range benchprog.All() {
+			fmt.Printf("%-14s %s\n", p.Name, p.Description)
+		}
+		return nil
+	}
+
+	var source string
+	switch {
+	case *srcPath != "":
+		data, err := os.ReadFile(*srcPath)
+		if err != nil {
+			return err
+		}
+		source = string(data)
+	case *progName != "":
+		p, ok := benchprog.ByName(*progName)
+		if !ok {
+			return fmt.Errorf("unknown program %q (try -list)", *progName)
+		}
+		source = p.Source
+	default:
+		return fmt.Errorf("need -src or -prog")
+	}
+
+	passes, err := parsePasses(*obfSpec)
+	if err != nil {
+		return err
+	}
+	var transform func(*mir.Module) error
+	if len(passes) > 0 {
+		transform = func(m *mir.Module) error { return obfuscate.Apply(m, *seed, passes...) }
+	}
+
+	bin, err := codegen.BuildProgram(source, transform, codegen.Options{})
+	if err != nil {
+		return err
+	}
+	if *selfmod != 0 {
+		bin, err = obfuscate.SelfModifyBinary(bin, byte(*selfmod))
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("built: text=%d bytes, entry=%#x, %d symbols\n",
+		bin.CodeSize(), bin.Entry, len(bin.Symbols))
+
+	if *out != "" {
+		if err := os.WriteFile(*out, bin.Marshal(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *execute {
+		res, err := codegen.Run(bin, nil, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("--- stdout ---\n%s--- exit %d (%d steps) ---\n",
+			res.Stdout, res.ExitCode, res.Steps)
+	}
+	return nil
+}
+
+func parsePasses(spec string) ([]obfuscate.Pass, error) {
+	switch spec {
+	case "":
+		return nil, nil
+	case "llvm":
+		return obfuscate.LLVMObf(), nil
+	case "tigress":
+		return obfuscate.Tigress(), nil
+	}
+	var out []obfuscate.Pass
+	for _, name := range strings.Split(spec, ",") {
+		p, err := obfuscate.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

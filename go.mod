@@ -1,0 +1,3 @@
+module github.com/nofreelunch/gadget-planner
+
+go 1.22

@@ -1,0 +1,199 @@
+package asm
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/nofreelunch/gadget-planner/internal/isa"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	r, err := Assemble("pop rdi; ret", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x5F, 0xC3}
+	if !bytes.Equal(r.Code, want) {
+		t.Fatalf("code = %x, want %x", r.Code, want)
+	}
+}
+
+func TestAssembleLabelsAndBranches(t *testing.T) {
+	src := `
+start:
+    mov rax, 0
+loop:
+    add rax, 2
+    cmp rax, 10
+    jne loop
+    ret
+`
+	r, err := Assemble(src, 0x400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Labels["start"] != 0x400000 {
+		t.Errorf("start = %#x", r.Labels["start"])
+	}
+	loopAddr := r.Labels["loop"]
+	if loopAddr <= 0x400000 {
+		t.Fatalf("loop label not after start: %#x", loopAddr)
+	}
+	// Decode and verify the jne targets the loop label.
+	var jcc *isa.Inst
+	pos := 0
+	for pos < len(r.Code) {
+		inst, err := isa.Decode(r.Code[pos:], 0x400000+uint64(pos))
+		if err != nil {
+			t.Fatalf("decode at %d: %v", pos, err)
+		}
+		if inst.Op == isa.OpJcc {
+			jcc = &inst
+		}
+		pos += int(inst.Len)
+	}
+	if jcc == nil {
+		t.Fatal("no jcc emitted")
+	}
+	if uint64(jcc.A.Imm) != loopAddr {
+		t.Errorf("jne target = %#x, want %#x", jcc.A.Imm, loopAddr)
+	}
+}
+
+func TestAssembleMemoryOperands(t *testing.T) {
+	src := `
+    mov rax, qword [rsp+0x10]
+    mov qword [rbp-8], rdi
+    mov byte [rdi], 0x41
+    lea rcx, [rbx+rdx*4+0x20]
+    movzx eax, byte [rsi]
+`
+	r, err := Assemble(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	pos := 0
+	for pos < len(r.Code) {
+		inst, err := isa.Decode(r.Code[pos:], uint64(pos))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		got = append(got, inst.String())
+		pos += int(inst.Len)
+	}
+	want := []string{
+		"mov rax, qword [rsp+0x10]",
+		"mov qword [rbp-0x8], rdi",
+		"mov byte [rdi], 0x41",
+		"lea rcx, qword [rbx+rdx*4+0x20]",
+		"movzx eax, byte [rsi]",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d instructions, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("inst %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAssembleData(t *testing.T) {
+	src := `
+msg: .asciz "/bin/sh"
+    .align 8
+tbl: .quad 1, msg, -1
+`
+	r, err := Assemble(src, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Labels["msg"] != 0x1000 {
+		t.Errorf("msg = %#x", r.Labels["msg"])
+	}
+	if r.Labels["tbl"]%8 != 0 {
+		t.Errorf("tbl not aligned: %#x", r.Labels["tbl"])
+	}
+	if !bytes.HasPrefix(r.Code, []byte("/bin/sh\x00")) {
+		t.Errorf("missing asciz payload: %x", r.Code[:8])
+	}
+	// Second quad must hold the msg address.
+	off := int(r.Labels["tbl"] - 0x1000)
+	var v uint64
+	for b := 0; b < 8; b++ {
+		v |= uint64(r.Code[off+8+b]) << (8 * b)
+	}
+	if v != r.Labels["msg"] {
+		t.Errorf("tbl[1] = %#x, want %#x", v, r.Labels["msg"])
+	}
+}
+
+func TestAssembleConditionAliases(t *testing.T) {
+	r, err := Assemble("jz done; jnz done; done: ret", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i0, err := isa.Decode(r.Code, 0)
+	if err != nil || i0.Cond != isa.CondE {
+		t.Errorf("jz: %v cond %v", err, i0.Cond)
+	}
+	i1, err := isa.Decode(r.Code[i0.Len:], uint64(i0.Len))
+	if err != nil || i1.Cond != isa.CondNE {
+		t.Errorf("jnz: %v cond %v", err, i1.Cond)
+	}
+}
+
+func TestAssembleSyscallChainSnippet(t *testing.T) {
+	// A typical execve gadget-chain tail.
+	src := `
+    pop rax
+    pop rdi
+    pop rsi
+    pop rdx
+    syscall
+`
+	r, err := Assemble(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x58, 0x5F, 0x5E, 0x5A, 0x0F, 0x05}
+	if !bytes.Equal(r.Code, want) {
+		t.Fatalf("code = %x, want %x", r.Code, want)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus rax",
+		"jxx label",
+		"mov rax, [unclosed",
+		".align 3",
+		"jmp undefined_label",
+		".quad undefined_label",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src, 0); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestMovabsLabel(t *testing.T) {
+	src := `
+    movabs rax, data
+    ret
+data: .quad 42
+`
+	r, err := Assemble(src, 0x400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := isa.Decode(r.Code, 0x400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Op != isa.OpMov || uint64(inst.B.Imm) != r.Labels["data"] {
+		t.Errorf("mov = %s, data = %#x", inst, r.Labels["data"])
+	}
+}

@@ -1,0 +1,77 @@
+// Package baseline defines the shared interface of the re-implemented
+// comparison tools (paper Section II-B): ROPGadget (syntactic pattern
+// matching), Angrop (semantic matching over return gadgets), and SGC
+// (solver-backed synthesis). Each is implemented with the limitations the
+// paper attributes to it, so the evaluation measures the same algorithmic
+// gaps the paper reports.
+package baseline
+
+import (
+	"github.com/nofreelunch/gadget-planner/internal/gadget"
+	"github.com/nofreelunch/gadget-planner/internal/sbf"
+)
+
+// Chain is one payload chain a tool built.
+type Chain struct {
+	Goal    string
+	Gadgets []*gadget.Gadget
+	// Verified reports whether the chain survived emulator validation.
+	Verified bool
+}
+
+// Result is a tool's outcome on one binary.
+type Result struct {
+	// ToolName identifies the tool.
+	ToolName string
+	// GadgetsTotal is the tool's collected gadget-pool size.
+	GadgetsTotal int
+	// GadgetsUsed counts distinct gadgets appearing in built chains.
+	GadgetsUsed int
+	// Chains lists verified payload chains.
+	Chains []Chain
+}
+
+// PayloadsFor counts verified chains toward one goal.
+func (r *Result) PayloadsFor(goal string) int {
+	n := 0
+	for _, c := range r.Chains {
+		if c.Goal == goal && c.Verified {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalPayloads counts all verified chains.
+func (r *Result) TotalPayloads() int {
+	n := 0
+	for _, c := range r.Chains {
+		if c.Verified {
+			n++
+		}
+	}
+	return n
+}
+
+// countUsed fills GadgetsUsed from Chains.
+func (r *Result) countUsed() {
+	seen := make(map[*gadget.Gadget]bool)
+	for _, c := range r.Chains {
+		if !c.Verified {
+			continue
+		}
+		for _, g := range c.Gadgets {
+			seen[g] = true
+		}
+	}
+	r.GadgetsUsed = len(seen)
+}
+
+// FillUsed exposes countUsed to the tool implementations.
+func (r *Result) FillUsed() { r.countUsed() }
+
+// Tool is a code-reuse chain builder under comparison.
+type Tool interface {
+	Name() string
+	Run(bin *sbf.Binary) *Result
+}

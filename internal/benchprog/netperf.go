@@ -1,0 +1,126 @@
+package benchprog
+
+// Netperf returns the netperf-like vulnerable program of the paper's case
+// study (Section VI-C). It models a network benchmark tool's option parser:
+// break_args is reproduced from the paper's Fig. 7 (splitting "host,port"
+// option values into two fixed-size stack buffers with no length checking).
+//
+// The exploit entry point: the tool reads a request from stdin; the option
+// payload length is attacker-controlled, and handle_option copies it into
+// 32-byte stack buffers via break_args semantics. Writing past the buffers
+// reaches the saved return address — the paper's stack memory write
+// primitive. (The copy is bounded by the attacker-supplied length rather
+// than a NUL terminator so payloads may contain zero bytes; see DESIGN.md.)
+func Netperf() Program {
+	return Program{
+		Name:        "netperf",
+		Description: "network option parser with a Fig. 7 stack overflow",
+		Source:      srcNetperf,
+	}
+}
+
+const srcNetperf = `
+char reqbuf[8192];
+int reqlen = 0;
+
+// break_args from the paper's Fig. 7: split "a,b" at the comma into arg1
+// and arg2 with unchecked copies.
+void break_args(char *s, char *arg1, char *arg2) {
+    char *ns;
+    int i = 0;
+    ns = 0;
+    while (s[i]) {
+        if (s[i] == ',') { ns = &s[i]; break; }
+        i++;
+    }
+    if (ns) {
+        *ns = 0;
+        ns = ns + 1;
+        while (1) {
+            char c = *ns;
+            *arg2 = c;
+            if (c == 0) break;
+            arg2 = arg2 + 1;
+            ns = ns + 1;
+        }
+    } else {
+        ns = s;
+        while (1) {
+            char c = *ns;
+            *arg2 = c;
+            if (c == 0) break;
+            arg2 = arg2 + 1;
+            ns = ns + 1;
+        }
+    }
+    while (1) {
+        char c = *s;
+        *arg1 = c;
+        if (c == 0) break;
+        arg1 = arg1 + 1;
+        s = s + 1;
+    }
+}
+
+// handle_option processes one '-a'-style option payload of the given
+// length: the bounded-length variant of the same unchecked-copy bug.
+int handle_option(char *payload, int n) {
+    char arg1[32];
+    char arg2[32];
+    int i;
+    for (i = 0; i < n; i++) {
+        arg1[i] = payload[i];
+    }
+    arg2[0] = 0;
+    // Pretend to parse host into arg2 for realism.
+    break_args(arg1, arg1, arg2);
+    return arg1[0] + arg2[0];
+}
+
+int checksum(char *p, int n) {
+    int acc = 0;
+    int i;
+    for (i = 0; i < n; i++) acc = acc * 131 + p[i];
+    return acc;
+}
+
+int main() {
+    // Request: [1 byte opcode][2 byte length LE][payload...]
+    reqlen = __read(0, &reqbuf[0], 8192);
+    if (reqlen < 3) {
+        print_str("short request\n");
+        return 1;
+    }
+    int op = reqbuf[0];
+    int n = reqbuf[1] + reqbuf[2] * 256;
+    if (n > reqlen - 3) n = reqlen - 3;
+
+    if (op == 'a') {
+        // The vulnerable option path.
+        int r = handle_option(&reqbuf[3], n);
+        print_str("option handled: ");
+        print_int(r);
+        print_char('\n');
+        return 0;
+    }
+    if (op == 'c') {
+        print_str("checksum: ");
+        print_int(checksum(&reqbuf[3], n));
+        print_char('\n');
+        return 0;
+    }
+    print_str("unknown op\n");
+    return 2;
+}
+`
+
+// NetperfRequest builds the stdin request triggering the vulnerable path
+// with the given option payload.
+func NetperfRequest(payload []byte) []byte {
+	req := make([]byte, 3+len(payload))
+	req[0] = 'a'
+	req[1] = byte(len(payload))
+	req[2] = byte(len(payload) >> 8)
+	copy(req[3:], payload)
+	return req
+}

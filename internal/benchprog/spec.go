@@ -1,0 +1,334 @@
+package benchprog
+
+// SPEC-CPU-style stand-in sources (see DESIGN.md substitution table): each
+// mirrors the computational flavour of the original benchmark at a scale the
+// emulator runs in milliseconds.
+
+// srcBzip2Sim: run-length encoding + move-to-front transform and a
+// round-trip integrity check (the compression-kernel flavour of 401.bzip2).
+const srcBzip2Sim = `
+char input[60];
+char rle[160];
+char mtf[160];
+char table[128];
+char decoded[160];
+char restored[60];
+
+int gen_input() {
+    int i;
+    int x = 12345;
+    for (i = 0; i < 60; i++) {
+        x = (x * 1103515245 + 12345) % 2147483648;
+        // Skewed distribution with runs.
+        int v = x % 100;
+        if (v < 60) input[i] = 'a' + v % 4;
+        else input[i] = 'a' + v % 26;
+    }
+    return 60;
+}
+
+// Run-length encode: pairs (count, byte). Returns output length.
+int rle_encode(char *src, int n, char *dst) {
+    int i = 0;
+    int o = 0;
+    while (i < n) {
+        int run = 1;
+        while (i + run < n && src[i + run] == src[i] && run < 255) run++;
+        dst[o] = run;
+        dst[o + 1] = src[i];
+        o += 2;
+        i += run;
+    }
+    return o;
+}
+
+int rle_decode(char *src, int n, char *dst) {
+    int i = 0;
+    int o = 0;
+    while (i < n) {
+        int run = src[i];
+        char c = src[i + 1];
+        int k;
+        for (k = 0; k < run; k++) { dst[o] = c; o++; }
+        i += 2;
+    }
+    return o;
+}
+
+// Move-to-front transform over the RLE stream.
+void mtf_encode(char *src, int n, char *dst) {
+    int i;
+    for (i = 0; i < 128; i++) table[i] = i;
+    for (i = 0; i < n; i++) {
+        int c = src[i];
+        int j = 0;
+        while (table[j] != c) j++;
+        dst[i] = j;
+        while (j > 0) {
+            table[j] = table[j - 1];
+            j--;
+        }
+        table[0] = c;
+    }
+}
+
+void mtf_decode(char *src, int n, char *dst) {
+    int i;
+    for (i = 0; i < 128; i++) table[i] = i;
+    for (i = 0; i < n; i++) {
+        int j = src[i];
+        int c = table[j];
+        dst[i] = c;
+        while (j > 0) {
+            table[j] = table[j - 1];
+            j--;
+        }
+        table[0] = c;
+    }
+}
+
+int main() {
+    int n = gen_input();
+    int rn = rle_encode(input, n, rle);
+    mtf_encode(rle, rn, mtf);
+
+    // Entropy proxy: count zero symbols after MTF (high = compressible).
+    int zeros = 0;
+    int i;
+    for (i = 0; i < rn; i++) if (mtf[i] == 0) zeros++;
+
+    mtf_decode(mtf, rn, decoded);
+    int dn = rle_decode(decoded, rn, restored);
+
+    int ok = dn == n;
+    for (i = 0; i < n; i++) if (restored[i] != input[i]) ok = 0;
+
+    print_int(rn);
+    print_char(' ');
+    print_int(zeros);
+    print_char(' ');
+    if (ok) print_str("roundtrip-ok\n");
+    else print_str("CORRUPT\n");
+    return !ok;
+}
+`
+
+// srcMcfSim: Bellman-Ford single-source shortest paths with negative-safe
+// relaxation over a synthetic layered network (the network-simplex flavour
+// of 429.mcf).
+const srcMcfSim = `
+int head[40];
+int nextEdge[400];
+int dest[400];
+int cost[400];
+int dist[40];
+int nedges = 0;
+
+void add_edge(int u, int v, int c) {
+    dest[nedges] = v;
+    cost[nedges] = c;
+    nextEdge[nedges] = head[u];
+    head[u] = nedges;
+    nedges++;
+}
+
+int main() {
+    int i;
+    int u;
+    for (i = 0; i < 40; i++) head[i] = 0 - 1;
+    // Synthetic layered network: 8 layers of 5 nodes.
+    int x = 777;
+    int layer;
+    for (layer = 0; layer < 7; layer++) {
+        int a;
+        int b;
+        for (a = 0; a < 5; a++) {
+            for (b = 0; b < 5; b++) {
+                x = (x * 75 + 74) % 65537;
+                add_edge(layer * 5 + a, (layer + 1) * 5 + b, x % 100 + 1);
+            }
+        }
+    }
+    for (i = 0; i < 40; i++) dist[i] = 1000000000;
+    dist[0] = 0;
+    // Bellman-Ford.
+    int round;
+    for (round = 0; round < 40; round++) {
+        int changed = 0;
+        for (u = 0; u < 40; u++) {
+            if (dist[u] == 1000000000) continue;
+            int e = head[u];
+            while (e >= 0) {
+                int nd = dist[u] + cost[e];
+                if (nd < dist[dest[e]]) {
+                    dist[dest[e]] = nd;
+                    changed = 1;
+                }
+                e = nextEdge[e];
+            }
+        }
+        if (!changed) break;
+    }
+    int best = 1000000000;
+    for (i = 35; i < 40; i++) if (dist[i] < best) best = dist[i];
+    print_int(best);
+    print_char(' ');
+    int sum = 0;
+    for (i = 0; i < 40; i++) if (dist[i] < 1000000000) sum += dist[i];
+    print_int(sum);
+    print_char('\n');
+    return 0;
+}
+`
+
+// srcGobmkSim: 9x9 Go board analysis: flood-fill group liberties, capture
+// detection, and a greedy move evaluation (the board-reasoning flavour of
+// 445.gobmk).
+const srcGobmkSim = `
+char board[49];
+char seen[49];
+
+int liberties(int pos, int color) {
+    // Iterative flood fill with an explicit stack.
+    int stack[49];
+    int sp = 0;
+    int libs = 0;
+    int i;
+    for (i = 0; i < 49; i++) seen[i] = 0;
+    stack[sp] = pos;
+    sp++;
+    seen[pos] = 1;
+    while (sp > 0) {
+        sp--;
+        int p = stack[sp];
+        int r = p / 7;
+        int c = p % 7;
+        int d;
+        for (d = 0; d < 4; d++) {
+            int nr = r;
+            int nc = c;
+            if (d == 0) nr = r - 1;
+            if (d == 1) nr = r + 1;
+            if (d == 2) nc = c - 1;
+            if (d == 3) nc = c + 1;
+            if (nr < 0 || nr >= 7 || nc < 0 || nc >= 7) continue;
+            int np = nr * 7 + nc;
+            if (seen[np]) continue;
+            if (board[np] == 0) {
+                seen[np] = 1;
+                libs++;
+            } else if (board[np] == color) {
+                seen[np] = 1;
+                stack[sp] = np;
+                sp++;
+            }
+        }
+    }
+    return libs;
+}
+
+int main() {
+    int i;
+    int x = 31337;
+    // Random position: ~half the points occupied.
+    for (i = 0; i < 49; i++) {
+        x = (x * 1103515245 + 12345) % 2147483648;
+        int v = x % 10;
+        if (v < 3) board[i] = 1;
+        else if (v < 6) board[i] = 2;
+        else board[i] = 0;
+    }
+    int atari = 0;
+    int captured = 0;
+    int total = 0;
+    for (i = 0; i < 49; i++) {
+        if (board[i] == 0) continue;
+        int l = liberties(i, board[i]);
+        total += l;
+        if (l == 1) atari++;
+        if (l == 0) captured++;
+    }
+    // Greedy move evaluation: best empty point by resulting liberties.
+    int best = 0 - 1;
+    int bestScore = 0 - 1;
+    for (i = 0; i < 49; i += 2) {
+        if (board[i]) continue;
+        board[i] = 1;
+        int s = liberties(i, 1);
+        board[i] = 0;
+        if (s > bestScore) { bestScore = s; best = i; }
+    }
+    print_int(total);
+    print_char(' ');
+    print_int(atari);
+    print_char(' ');
+    print_int(captured);
+    print_char(' ');
+    print_int(best);
+    print_char(' ');
+    print_int(bestScore);
+    print_char('\n');
+    return 0;
+}
+`
+
+// srcHmmerSim: Viterbi dynamic programming of observation sequences against
+// a 3-state profile with transition/emission scores (the profile-HMM
+// flavour of 456.hmmer).
+const srcHmmerSim = `
+int trans[9];
+int emit[12];
+int dp[120];
+
+int max2(int a, int b) { if (a > b) return a; return b; }
+
+int score_sequence(char *seq, int n) {
+    int s;
+    int t;
+    // dp[t*3+s]: best score ending in state s at step t.
+    for (s = 0; s < 3; s++) dp[s] = emit[s * 4 + seq[0]];
+    for (t = 1; t < n; t++) {
+        for (s = 0; s < 3; s++) {
+            int best = 0 - 1000000000;
+            int prev;
+            for (prev = 0; prev < 3; prev++) {
+                int cand = dp[(t - 1) * 3 + prev] + trans[prev * 3 + s];
+                best = max2(best, cand);
+            }
+            dp[t * 3 + s] = best + emit[s * 4 + seq[t]];
+        }
+    }
+    int best = 0 - 1000000000;
+    for (s = 0; s < 3; s++) best = max2(best, dp[(n - 1) * 3 + s]);
+    return best;
+}
+
+char seqbuf[40];
+
+int main() {
+    int i;
+    // Deterministic model parameters.
+    for (i = 0; i < 9; i++) trans[i] = (i * 13 % 7) - 3;
+    for (i = 0; i < 12; i++) emit[i] = (i * 17 % 11) - 5;
+
+    int x = 999;
+    int total = 0;
+    int best = 0 - 1000000000;
+    int round;
+    for (round = 0; round < 6; round++) {
+        int n = 12 + round % 8;
+        for (i = 0; i < n; i++) {
+            x = (x * 75 + 74) % 65537;
+            seqbuf[i] = x % 4;
+        }
+        int sc = score_sequence(seqbuf, n);
+        total += sc;
+        best = max2(best, sc);
+    }
+    print_int(total);
+    print_char(' ');
+    print_int(best);
+    print_char('\n');
+    return 0;
+}
+`

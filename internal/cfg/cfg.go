@@ -1,0 +1,205 @@
+// Package cfg recovers a control-flow graph from machine code by linear
+// sweep: instructions are decoded sequentially, branch targets and
+// fall-through points become block leaders, and blocks record their
+// successor edges. The gadget extractor uses block starts as the "aligned"
+// gadget positions, and the direct-jump merging stage follows edges.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/nofreelunch/gadget-planner/internal/isa"
+	"github.com/nofreelunch/gadget-planner/internal/sbf"
+)
+
+// Block is a basic block: straight-line instructions ending at a branch or
+// at the start of another block.
+type Block struct {
+	Start uint64
+	Insts []isa.Inst
+	// Succs are the static successor addresses (branch targets and
+	// fall-through). Indirect branches contribute no successors.
+	Succs []uint64
+}
+
+// End returns the address one past the block's last instruction.
+func (b *Block) End() uint64 {
+	if len(b.Insts) == 0 {
+		return b.Start
+	}
+	last := b.Insts[len(b.Insts)-1]
+	return last.End()
+}
+
+// Terminator returns the block's final instruction.
+func (b *Block) Terminator() isa.Inst {
+	return b.Insts[len(b.Insts)-1]
+}
+
+// Graph is a control-flow graph over one or more code regions.
+type Graph struct {
+	Blocks map[uint64]*Block
+	// Order lists block start addresses in ascending order.
+	Order []uint64
+	insts map[uint64]isa.Inst
+}
+
+// Build performs linear-sweep disassembly of code based at base and
+// partitions it into basic blocks. Undecodable bytes are skipped (they
+// become gaps, as data islands in code would).
+func Build(code []byte, base uint64) *Graph {
+	insts := make(map[uint64]isa.Inst)
+	var order []uint64
+	pos := 0
+	for pos < len(code) {
+		inst, err := isa.Decode(code[pos:], base+uint64(pos))
+		if err != nil {
+			pos++
+			continue
+		}
+		insts[inst.Addr] = inst
+		order = append(order, inst.Addr)
+		pos += int(inst.Len)
+	}
+
+	// Identify leaders.
+	leaders := make(map[uint64]bool)
+	if len(order) > 0 {
+		leaders[order[0]] = true
+	}
+	for _, addr := range order {
+		inst := insts[addr]
+		if inst.IsDirectBranch() {
+			leaders[uint64(inst.A.Imm)] = true
+		}
+		if inst.IsBranch() {
+			leaders[inst.End()] = true
+		}
+	}
+
+	// Partition into blocks.
+	g := &Graph{Blocks: make(map[uint64]*Block), insts: insts}
+	var cur *Block
+	for _, addr := range order {
+		inst := insts[addr]
+		if cur == nil || leaders[addr] {
+			cur = &Block{Start: addr}
+			g.Blocks[addr] = cur
+			g.Order = append(g.Order, addr)
+		}
+		cur.Insts = append(cur.Insts, inst)
+		if inst.IsBranch() {
+			cur.Succs = blockSuccessors(inst)
+			cur = nil
+		}
+	}
+	// Blocks that ended because the next address is a leader fall through.
+	for _, start := range g.Order {
+		b := g.Blocks[start]
+		if len(b.Succs) == 0 && !b.Terminator().IsBranch() {
+			if _, ok := g.Blocks[b.End()]; ok {
+				b.Succs = []uint64{b.End()}
+			}
+		}
+	}
+	sort.Slice(g.Order, func(i, j int) bool { return g.Order[i] < g.Order[j] })
+	return g
+}
+
+func blockSuccessors(term isa.Inst) []uint64 {
+	switch term.Op {
+	case isa.OpRet, isa.OpHlt, isa.OpInt3:
+		return nil
+	case isa.OpSyscall:
+		return []uint64{term.End()}
+	case isa.OpJmp:
+		if term.A.Kind == isa.KindImm {
+			return []uint64{uint64(term.A.Imm)}
+		}
+		return nil
+	case isa.OpJcc:
+		return []uint64{uint64(term.A.Imm), term.End()}
+	case isa.OpCall:
+		// Calls return; the static successor is the fall-through. The
+		// callee edge is recorded only for direct calls.
+		if term.A.Kind == isa.KindImm {
+			return []uint64{uint64(term.A.Imm), term.End()}
+		}
+		return []uint64{term.End()}
+	}
+	return nil
+}
+
+// FromBinary builds one graph covering all executable sections.
+func FromBinary(bin *sbf.Binary) *Graph {
+	merged := &Graph{Blocks: make(map[uint64]*Block), insts: make(map[uint64]isa.Inst)}
+	for _, sec := range bin.ExecSections() {
+		g := Build(sec.Data, sec.Addr)
+		for addr, blk := range g.Blocks {
+			merged.Blocks[addr] = blk
+		}
+		merged.Order = append(merged.Order, g.Order...)
+		for a, i := range g.insts {
+			merged.insts[a] = i
+		}
+	}
+	sort.Slice(merged.Order, func(i, j int) bool { return merged.Order[i] < merged.Order[j] })
+	return merged
+}
+
+// BlockAt returns the block starting exactly at addr, or nil.
+func (g *Graph) BlockAt(addr uint64) *Block { return g.Blocks[addr] }
+
+// InstAt returns the linearly-decoded instruction at addr, if the sweep
+// produced one there.
+func (g *Graph) InstAt(addr uint64) (isa.Inst, bool) {
+	inst, ok := g.insts[addr]
+	return inst, ok
+}
+
+// NumInsts returns how many instructions the sweep decoded.
+func (g *Graph) NumInsts() int { return len(g.insts) }
+
+// Stats summarizes the graph for reports.
+type Stats struct {
+	Blocks       int
+	Instructions int
+	DirectJumps  int
+	IndirectJmps int
+	CondJumps    int
+	Returns      int
+	Calls        int
+	Syscalls     int
+}
+
+// Summarize computes graph statistics.
+func (g *Graph) Summarize() Stats {
+	s := Stats{Blocks: len(g.Blocks), Instructions: len(g.insts)}
+	for _, inst := range g.insts {
+		switch inst.Op {
+		case isa.OpRet:
+			s.Returns++
+		case isa.OpJcc:
+			s.CondJumps++
+		case isa.OpJmp:
+			if inst.A.Kind == isa.KindImm {
+				s.DirectJumps++
+			} else {
+				s.IndirectJmps++
+			}
+		case isa.OpCall:
+			s.Calls++
+		case isa.OpSyscall:
+			s.Syscalls++
+		}
+	}
+	return s
+}
+
+// String renders a compact description for diagnostics.
+func (s Stats) String() string {
+	return fmt.Sprintf("blocks=%d insts=%d ret=%d dj=%d ij=%d cj=%d call=%d syscall=%d",
+		s.Blocks, s.Instructions, s.Returns, s.DirectJumps, s.IndirectJmps,
+		s.CondJumps, s.Calls, s.Syscalls)
+}

@@ -1,0 +1,161 @@
+package cfg
+
+import (
+	"testing"
+
+	"github.com/nofreelunch/gadget-planner/internal/asm"
+	"github.com/nofreelunch/gadget-planner/internal/isa"
+	"github.com/nofreelunch/gadget-planner/internal/sbf"
+)
+
+func build(t *testing.T, src string, base uint64) (*Graph, *asm.Result) {
+	t.Helper()
+	r, err := asm.Assemble(src, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(r.Code, base), r
+}
+
+func TestLinearBlock(t *testing.T) {
+	g, _ := build(t, "mov rax, 1; add rax, 2; ret", 0x1000)
+	if len(g.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(g.Blocks))
+	}
+	b := g.BlockAt(0x1000)
+	if b == nil || len(b.Insts) != 3 {
+		t.Fatalf("block = %+v", b)
+	}
+	if b.Succs != nil {
+		t.Errorf("ret block has successors: %v", b.Succs)
+	}
+}
+
+func TestBranchSplitsBlocks(t *testing.T) {
+	src := `
+    mov rax, 0
+    cmp rax, 1
+    jne skip
+    mov rax, 2
+skip:
+    ret
+`
+	g, r := build(t, src, 0x1000)
+	if len(g.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3: %v", len(g.Blocks), g.Order)
+	}
+	first := g.BlockAt(0x1000)
+	if len(first.Succs) != 2 {
+		t.Fatalf("jcc block succs = %v", first.Succs)
+	}
+	skipAddr := r.Labels["skip"]
+	foundSkip := false
+	for _, s := range first.Succs {
+		if s == skipAddr {
+			foundSkip = true
+		}
+	}
+	if !foundSkip {
+		t.Errorf("jcc target %#x not in succs %v", skipAddr, first.Succs)
+	}
+	// The fall-through block must flow into skip.
+	mid := g.BlockAt(first.End())
+	if mid == nil || len(mid.Succs) != 1 || mid.Succs[0] != skipAddr {
+		t.Errorf("fall-through block = %+v", mid)
+	}
+}
+
+func TestDirectJumpEdge(t *testing.T) {
+	src := `
+    jmp target
+    nop
+target:
+    ret
+`
+	g, r := build(t, src, 0)
+	b := g.BlockAt(0)
+	if len(b.Succs) != 1 || b.Succs[0] != r.Labels["target"] {
+		t.Errorf("jmp succs = %v, want [%#x]", b.Succs, r.Labels["target"])
+	}
+}
+
+func TestIndirectJumpNoSuccs(t *testing.T) {
+	g, _ := build(t, "jmp rax", 0)
+	if got := g.BlockAt(0).Succs; got != nil {
+		t.Errorf("indirect jmp succs = %v", got)
+	}
+}
+
+func TestCallEdges(t *testing.T) {
+	src := `
+    call fn
+    ret
+fn:
+    ret
+`
+	g, r := build(t, src, 0x1000)
+	b := g.BlockAt(0x1000)
+	if len(b.Succs) != 2 {
+		t.Fatalf("call succs = %v", b.Succs)
+	}
+	if b.Succs[0] != r.Labels["fn"] {
+		t.Errorf("call target = %#x", b.Succs[0])
+	}
+}
+
+func TestUndecodableBytesSkipped(t *testing.T) {
+	// 0x06 is not a valid opcode in 64-bit mode.
+	code := []byte{0x06, 0x06, 0x5F, 0xC3} // junk, junk, pop rdi, ret
+	g := Build(code, 0x2000)
+	if g.NumInsts() != 2 {
+		t.Fatalf("insts = %d, want 2", g.NumInsts())
+	}
+	if _, ok := g.InstAt(0x2002); !ok {
+		t.Error("pop rdi not found at 0x2002")
+	}
+}
+
+func TestFromBinary(t *testing.T) {
+	r1 := asm.MustAssemble("pop rdi; ret", 0x1000)
+	r2 := asm.MustAssemble("pop rsi; ret", 0x3000)
+	bin := sbf.New()
+	bin.AddSection(sbf.Section{Name: ".text", Addr: 0x1000, Flags: sbf.FlagRead | sbf.FlagExec, Data: r1.Code})
+	bin.AddSection(sbf.Section{Name: ".text2", Addr: 0x3000, Flags: sbf.FlagRead | sbf.FlagExec, Data: r2.Code})
+	bin.AddSection(sbf.Section{Name: ".data", Addr: 0x5000, Flags: sbf.FlagRead | sbf.FlagWrite, Data: []byte{0xC3}})
+	g := FromBinary(bin)
+	if len(g.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2 (data section must be excluded)", len(g.Blocks))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	src := `
+    cmp rax, 1
+    jne a
+a:  jmp rbx
+    jmp a
+    call rcx
+    syscall
+    ret
+`
+	g, _ := build(t, src, 0)
+	s := g.Summarize()
+	if s.CondJumps != 1 || s.IndirectJmps != 1 || s.DirectJumps != 1 ||
+		s.Calls != 1 || s.Syscalls != 1 || s.Returns != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty stats string")
+	}
+}
+
+func TestTerminator(t *testing.T) {
+	g, _ := build(t, "nop; ret", 0)
+	b := g.BlockAt(0)
+	if b.Terminator().Op != isa.OpRet {
+		t.Errorf("terminator = %v", b.Terminator().Op)
+	}
+	if b.End() != 2 {
+		t.Errorf("end = %#x", b.End())
+	}
+}

@@ -1,0 +1,320 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+)
+
+// compileRun builds and executes MiniC source, returning stdout and exit.
+func compileRun(t *testing.T, src string) (string, uint64) {
+	t.Helper()
+	bin, err := BuildProgram(src, nil, Options{})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	res, err := Run(bin, nil, 0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res.Stdout, res.ExitCode
+}
+
+func TestHelloWorld(t *testing.T) {
+	out, code := compileRun(t, `
+int main() {
+    print_str("hello, world\n");
+    return 0;
+}`)
+	if out != "hello, world\n" || code != 0 {
+		t.Errorf("out=%q code=%d", out, code)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	out, _ := compileRun(t, `
+int main() {
+    print_int(2 + 3 * 4);      // 14
+    print_char('\n');
+    print_int((2 + 3) * 4);    // 20
+    print_char('\n');
+    print_int(-17 / 5);        // -3 (C truncation)
+    print_char('\n');
+    print_int(-17 % 5);        // -2
+    print_char('\n');
+    print_int(1 << 10);        // 1024
+    print_char('\n');
+    print_int(255 & 0x0F);     // 15
+    print_char('\n');
+    print_int(5 ^ 3);          // 6
+    print_char('\n');
+    print_int(~0);             // -1
+    print_char('\n');
+    print_int(-8 >> 1);        // -4 (arithmetic shift)
+    print_char('\n');
+    return 0;
+}`)
+	want := "14\n20\n-3\n-2\n1024\n15\n6\n-1\n-4\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	out, _ := compileRun(t, `
+int main() {
+    int i;
+    int sum = 0;
+    for (i = 1; i <= 10; i++) {
+        if (i % 2 == 0) continue;
+        sum += i;
+        if (i > 8) break;
+    }
+    print_int(sum); // 1+3+5+7+9 = 25
+    print_char('\n');
+    int n = 0;
+    while (n < 5) n++;
+    print_int(n);
+    print_char('\n');
+    return 0;
+}`)
+	if out != "25\n5\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	out, code := compileRun(t, `
+int fact(int n) {
+    if (n <= 1) return 1;
+    return n * fact(n - 1);
+}
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main() {
+    print_int(fact(10));
+    print_char('\n');
+    print_int(fib(15));
+    print_char('\n');
+    return fact(5);
+}`)
+	if out != "3628800\n610\n" || code != 120 {
+		t.Errorf("out=%q code=%d", out, code)
+	}
+}
+
+func TestArraysAndPointers(t *testing.T) {
+	out, _ := compileRun(t, `
+int g[8];
+char msg[] = "abc";
+int main() {
+    int i;
+    for (i = 0; i < 8; i++) g[i] = i * i;
+    int sum = 0;
+    for (i = 0; i < 8; i++) sum += g[i];
+    print_int(sum); // 140
+    print_char('\n');
+
+    int local[4];
+    int *p = &local[0];
+    *p = 7;
+    p[1] = 8;
+    *(p + 2) = 9;
+    p[3] = p[0] + p[1] + p[2];
+    print_int(local[3]); // 24
+    print_char('\n');
+
+    print_str(msg);
+    print_char('\n');
+    msg[1] = 'X';
+    print_str(&msg[0]);
+    print_char('\n');
+    return 0;
+}`)
+	want := "140\n24\nabc\naXc\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestStringsAndChars(t *testing.T) {
+	out, _ := compileRun(t, `
+int strlen(char *s) {
+    int n = 0;
+    while (s[n]) n++;
+    return n;
+}
+int main() {
+    char buf[16];
+    char *src = "gadget";
+    int i = 0;
+    while (src[i]) {
+        buf[i] = src[i] - 'a' + 'A';
+        i++;
+    }
+    buf[i] = 0;
+    print_str(buf);
+    print_char('\n');
+    print_int(strlen("planner"));
+    print_char('\n');
+    return 0;
+}`)
+	if out != "GADGET\n7\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	out, _ := compileRun(t, `
+int calls = 0;
+int bump(int v) { calls++; return v; }
+int main() {
+    if (0 && bump(1)) print_str("no");
+    print_int(calls); // 0
+    if (1 || bump(1)) calls = calls;
+    print_int(calls); // still 0
+    if (1 && bump(1)) print_int(calls); // 1
+    if (0 || bump(0)) print_str("no");
+    print_int(calls); // 2
+    print_char('\n');
+    return 0;
+}`)
+	if out != "0012\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestGlobalsInitialized(t *testing.T) {
+	out, _ := compileRun(t, `
+int answer = 42;
+int table[4] = {10, 20, 30, 40};
+int neg = -7;
+int main() {
+    print_int(answer);
+    print_char(' ');
+    print_int(table[0] + table[1] + table[2] + table[3]);
+    print_char(' ');
+    print_int(neg);
+    print_char('\n');
+    return 0;
+}`)
+	if out != "42 100 -7\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestFunctionArgs(t *testing.T) {
+	out, _ := compileRun(t, `
+int sum6(int a, int b, int c, int d, int e, int f) {
+    return a + 2*b + 3*c + 4*d + 5*e + 6*f;
+}
+int main() {
+    print_int(sum6(1, 2, 3, 4, 5, 6)); // 1+4+9+16+25+36 = 91
+    print_char('\n');
+    return 0;
+}`)
+	if out != "91\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestComparisonOperators(t *testing.T) {
+	out, _ := compileRun(t, `
+int main() {
+    print_int(3 < 5);
+    print_int(5 < 3);
+    print_int(-1 < 1);
+    print_int(3 <= 3);
+    print_int(4 > 9);
+    print_int(9 >= 9);
+    print_int(2 == 2);
+    print_int(2 != 2);
+    print_int(!5);
+    print_int(!0);
+    print_char('\n');
+    return 0;
+}`)
+	if out != "1011011001\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestExitBuiltin(t *testing.T) {
+	_, code := compileRun(t, `
+int main() {
+    exit(33);
+    print_str("unreachable");
+    return 0;
+}`)
+	if code != 33 {
+		t.Errorf("code = %d", code)
+	}
+}
+
+func TestSizeof(t *testing.T) {
+	out, _ := compileRun(t, `
+int main() {
+    print_int(sizeof(int));
+    print_int(sizeof(char));
+    print_int(sizeof(int*));
+    print_char('\n');
+    return 0;
+}`)
+	if out != "818\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"int main( { return 0; }",
+		"int main() { return 0 }",
+		"int main() { int 3x; }",
+		"int main() { undefined_fn(); }",
+		"int main() { x = 1; }",
+		"int main() { break; }",
+		"void nomain() {}",
+	}
+	for _, src := range cases {
+		if _, err := BuildProgram(src, nil, Options{}); err == nil {
+			t.Errorf("BuildProgram(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	out, _ := compileRun(t, `
+int main() {
+    int total = 0;
+    int i;
+    int j;
+    for (i = 0; i < 5; i++) {
+        for (j = 0; j < 5; j++) {
+            if (j > i) break;
+            total += i * j;
+        }
+    }
+    print_int(total); // sum over i of i * (0+..+i) = 0+1+6+18+40 = 65... compute: i=1:1*1=1; i=2:2*(1+2)=6; i=3:3*6=18; i=4:4*10=40 => 65
+    print_char('\n');
+    return 0;
+}`)
+	if !strings.HasPrefix(out, "65\n") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestSymbolsExported(t *testing.T) {
+	bin, err := BuildProgram("int main() { return 0; }", nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sym := range []string{"_start", "main", "print_int", "__write"} {
+		if _, ok := bin.Symbol(sym); !ok {
+			t.Errorf("symbol %q missing", sym)
+		}
+	}
+	if bin.Section(".text") == nil || bin.Section(".data") == nil {
+		t.Error("missing sections")
+	}
+}

@@ -1,0 +1,259 @@
+// Package core is Gadget-Planner's public pipeline API: it wires the four
+// stages of the paper's workflow (gadget extraction, subsumption testing,
+// partial-order planning, payload post-processing) behind two calls —
+// Analyze (stages 1–2, producing the gadget library) and FindPayloads
+// (stages 3–4, producing verified attack payloads for a goal) — with
+// per-stage time and memory accounting (Table VII).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/nofreelunch/gadget-planner/internal/gadget"
+	"github.com/nofreelunch/gadget-planner/internal/isa"
+	"github.com/nofreelunch/gadget-planner/internal/payload"
+	"github.com/nofreelunch/gadget-planner/internal/planner"
+	"github.com/nofreelunch/gadget-planner/internal/sbf"
+	"github.com/nofreelunch/gadget-planner/internal/subsume"
+	"github.com/nofreelunch/gadget-planner/internal/symex"
+)
+
+// Config tunes the pipeline.
+type Config struct {
+	// Extract configures stage 1.
+	Extract gadget.Options
+	// Subsume configures stage 2.
+	Subsume subsume.Options
+	// Planner configures stage 3.
+	Planner planner.Options
+	// PayloadBase is the stack address payloads are concretized for
+	// (default 0x7FFF8000; the threat model assumes it is known).
+	PayloadBase uint64
+	// VerifySteps bounds emulated payload verification (default 100k).
+	VerifySteps uint64
+	// SkipSubsume disables stage 2 (ablation).
+	SkipSubsume bool
+	// GadgetFilter, if set, restricts the pool to gadgets it accepts
+	// (ablation: gadget-class studies).
+	GadgetFilter func(*gadget.Gadget) bool
+	// SkipVerify accepts solver-concretized payloads without emulating
+	// them (used only by performance benchmarks).
+	SkipVerify bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.PayloadBase == 0 {
+		c.PayloadBase = 0x7FFF_8000
+	}
+	if c.VerifySteps == 0 {
+		c.VerifySteps = 100_000
+	}
+	return c
+}
+
+// StageTiming records one pipeline stage's cost (Table VII rows).
+type StageTiming struct {
+	Name     string
+	Duration time.Duration
+	// AllocBytes is the heap allocated during the stage (a proxy for the
+	// paper's peak-memory column).
+	AllocBytes uint64
+}
+
+func timeStage(name string, timings *[]StageTiming, f func()) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	f()
+	d := time.Since(start)
+	runtime.ReadMemStats(&after)
+	*timings = append(*timings, StageTiming{
+		Name:       name,
+		Duration:   d,
+		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+	})
+}
+
+// Analysis is the result of stages 1–2 on one binary.
+type Analysis struct {
+	Binary *sbf.Binary
+	// RawPool is the pool before subsumption testing.
+	RawPool *gadget.Pool
+	// Pool is the minimized gadget library the planner searches.
+	Pool *gadget.Pool
+	// SubsumeStats reports the stage-2 reduction.
+	SubsumeStats subsume.Stats
+	// Timings holds per-stage costs accumulated so far.
+	Timings []StageTiming
+
+	cfg Config
+}
+
+// Analyze runs gadget extraction and subsumption testing.
+func Analyze(bin *sbf.Binary, cfg Config) *Analysis {
+	cfg = cfg.withDefaults()
+	a := &Analysis{Binary: bin, cfg: cfg}
+
+	timeStage("extraction", &a.Timings, func() {
+		a.RawPool = gadget.Extract(bin, cfg.Extract)
+	})
+
+	pool := a.RawPool
+	if cfg.GadgetFilter != nil {
+		filtered := &gadget.Pool{
+			Builder: pool.Builder,
+			ByReg:   make(map[isa.Reg][]*gadget.Gadget),
+			Stats:   pool.Stats,
+		}
+		for _, g := range pool.Gadgets {
+			if cfg.GadgetFilter(g) {
+				addGadget(filtered, g)
+			}
+		}
+		pool = filtered
+	}
+
+	if cfg.SkipSubsume {
+		a.Pool = pool
+		a.SubsumeStats = subsume.Stats{Before: pool.Size(), After: pool.Size()}
+		return a
+	}
+	timeStage("subsumption", &a.Timings, func() {
+		a.Pool, a.SubsumeStats = subsume.Minimize(pool, cfg.Subsume)
+	})
+	return a
+}
+
+// Attack is the outcome of stages 3–4 for one goal.
+type Attack struct {
+	Goal planner.Goal
+	// Payloads are emulator-verified (or, with SkipVerify, solver-accepted)
+	// attack payloads, one per distinct plan.
+	Payloads []*payload.Payload
+	// Plans are the corresponding abstract plans.
+	Plans []*planner.Plan
+	// Search reports planner effort.
+	Search planner.Result
+	// ConcretizeFailures counts plans the solver or verifier rejected.
+	ConcretizeFailures int
+}
+
+// FindPayloads runs planning and payload construction toward one goal.
+// Every returned payload has been validated end-to-end in the emulator
+// against the analyzed binary (unless SkipVerify).
+func (a *Analysis) FindPayloads(goal planner.Goal) *Attack {
+	cfg := a.cfg
+	atk := &Attack{Goal: goal}
+	conc := payload.NewConcretizer(a.Pool, a.Binary, cfg.PayloadBase)
+
+	opts := cfg.Planner
+	opts.Validate = func(p *planner.Plan) bool {
+		pl, err := conc.Concretize(p, goal)
+		if err != nil {
+			atk.ConcretizeFailures++
+			return false
+		}
+		if !cfg.SkipVerify {
+			if err := payload.Verify(a.Binary, pl, cfg.VerifySteps); err != nil {
+				atk.ConcretizeFailures++
+				return false
+			}
+		}
+		atk.Payloads = append(atk.Payloads, pl)
+		return true
+	}
+
+	var res *planner.Result
+	timeStage("planning:"+goal.Name, &a.Timings, func() {
+		res = planner.Search(a.Pool, goal, opts)
+	})
+	atk.Search = *res
+	atk.Plans = res.Plans
+	return atk
+}
+
+// FindAll runs all three standard attack goals (Table IV columns).
+func (a *Analysis) FindAll() map[string]*Attack {
+	out := make(map[string]*Attack, 3)
+	for _, goal := range planner.Goals() {
+		out[goal.Name] = a.FindPayloads(goal)
+	}
+	return out
+}
+
+// TotalPayloads sums payload counts across goals.
+func TotalPayloads(attacks map[string]*Attack) int {
+	n := 0
+	for _, atk := range attacks {
+		n += len(atk.Payloads)
+	}
+	return n
+}
+
+// ChainStats summarizes chains for Table V: average gadget length, average
+// chain length (both in instructions), and gadget-type composition.
+type ChainStats struct {
+	Chains       int
+	AvgGadgetLen float64 // instructions per gadget
+	AvgChainLen  float64 // instructions per chain
+	PctRet       float64
+	PctIndirect  float64
+	PctDirect    float64 // merged across a direct jump
+	PctCond      float64
+}
+
+// Summarize computes Table V metrics over a set of plans.
+func Summarize(plans []*planner.Plan) ChainStats {
+	var s ChainStats
+	totGadgets, totInsts := 0, 0
+	var ret, ind, dir, cond int
+	for _, p := range plans {
+		s.Chains++
+		chainInsts := 0
+		for _, g := range p.Chain() {
+			totGadgets++
+			chainInsts += g.NumInsts()
+			switch {
+			case g.HasCond:
+				cond++
+			case g.Merged:
+				dir++
+			case g.Effect.End == symex.EndJmpInd || g.Effect.End == symex.EndCallInd:
+				ind++
+			default:
+				ret++
+			}
+		}
+		totInsts += chainInsts
+	}
+	if totGadgets > 0 {
+		s.AvgGadgetLen = float64(totInsts) / float64(totGadgets)
+		s.PctRet = 100 * float64(ret) / float64(totGadgets)
+		s.PctIndirect = 100 * float64(ind) / float64(totGadgets)
+		s.PctDirect = 100 * float64(dir) / float64(totGadgets)
+		s.PctCond = 100 * float64(cond) / float64(totGadgets)
+	}
+	if s.Chains > 0 {
+		s.AvgChainLen = float64(totInsts) / float64(s.Chains)
+	}
+	return s
+}
+
+// String renders the stats as a Table V row.
+func (s ChainStats) String() string {
+	return fmt.Sprintf("chains=%d gadgetLen=%.1f chainLen=%.1f ret=%.0f%% ij=%.0f%% dj=%.0f%% cj=%.0f%%",
+		s.Chains, s.AvgGadgetLen, s.AvgChainLen, s.PctRet, s.PctIndirect, s.PctDirect, s.PctCond)
+}
+
+// addGadget mirrors the pool insertion logic for filtered pools.
+func addGadget(p *gadget.Pool, g *gadget.Gadget) {
+	p.Gadgets = append(p.Gadgets, g)
+	if g.JmpType == gadget.TypeSyscall {
+		p.Syscalls = append(p.Syscalls, g)
+	}
+	for _, r := range g.ClobRegs {
+		p.ByReg[r] = append(p.ByReg[r], g)
+	}
+}

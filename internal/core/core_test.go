@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/nofreelunch/gadget-planner/internal/benchprog"
+	"github.com/nofreelunch/gadget-planner/internal/gadget"
+	"github.com/nofreelunch/gadget-planner/internal/obfuscate"
+	"github.com/nofreelunch/gadget-planner/internal/payload"
+	"github.com/nofreelunch/gadget-planner/internal/planner"
+)
+
+func analyzeCRC(t *testing.T, passes []obfuscate.Pass) *Analysis {
+	t.Helper()
+	p, ok := benchprog.ByName("crc")
+	if !ok {
+		t.Fatal("crc benchmark missing")
+	}
+	bin, err := benchprog.Build(p, passes, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(bin, Config{
+		Planner: planner.Options{MaxPlans: 4, MaxNodes: 5000, Timeout: 15 * time.Second},
+	})
+}
+
+func TestPipelineOnCompiledBinary(t *testing.T) {
+	a := analyzeCRC(t, nil)
+	if a.RawPool.Size() == 0 || a.Pool.Size() == 0 {
+		t.Fatalf("empty pools: raw=%d min=%d", a.RawPool.Size(), a.Pool.Size())
+	}
+	if a.SubsumeStats.ReductionFactor() <= 1 {
+		t.Errorf("no subsumption reduction: %+v", a.SubsumeStats)
+	}
+	if len(a.Timings) < 2 {
+		t.Errorf("timings = %v", a.Timings)
+	}
+
+	atk := a.FindPayloads(planner.ExecveGoal())
+	if len(atk.Payloads) == 0 {
+		t.Fatalf("no execve payloads on plain binary (expanded %d)", atk.Search.Expanded)
+	}
+	// Every returned payload re-verifies independently.
+	for _, pl := range atk.Payloads {
+		if err := payload.Verify(a.Binary, pl, 0); err != nil {
+			t.Errorf("payload does not re-verify: %v", err)
+		}
+	}
+}
+
+func TestPipelineOnObfuscatedBinary(t *testing.T) {
+	a := analyzeCRC(t, obfuscate.LLVMObf())
+	attacks := a.FindAll()
+	if TotalPayloads(attacks) == 0 {
+		t.Fatal("no payloads on obfuscated binary")
+	}
+	if len(attacks) != 3 {
+		t.Errorf("attacks = %d goals", len(attacks))
+	}
+	stats := Summarize(attacks["execve"].Plans)
+	if stats.Chains == 0 || stats.AvgChainLen <= 0 || stats.AvgGadgetLen <= 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.String() == "" {
+		t.Error("empty stats string")
+	}
+}
+
+func TestSkipSubsumeAblation(t *testing.T) {
+	p, _ := benchprog.ByName("crc")
+	bin, err := benchprog.Build(p, nil, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with := Analyze(bin, Config{})
+	without := Analyze(bin, Config{SkipSubsume: true})
+	if without.Pool.Size() <= with.Pool.Size() {
+		t.Errorf("subsumption did not shrink pool: %d vs %d",
+			without.Pool.Size(), with.Pool.Size())
+	}
+}
+
+func TestGadgetFilter(t *testing.T) {
+	p, _ := benchprog.ByName("crc")
+	bin, err := benchprog.Build(p, nil, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(bin, Config{
+		GadgetFilter: func(g *gadget.Gadget) bool { return g.JmpType == gadget.TypeSyscall },
+	})
+	for _, g := range a.Pool.Gadgets {
+		if g.JmpType != gadget.TypeSyscall {
+			t.Fatalf("filter leaked %v", g.JmpType)
+		}
+	}
+	// With only syscall gadgets, no full chain exists.
+	atk := a.FindPayloads(planner.ExecveGoal())
+	if len(atk.Payloads) != 0 {
+		t.Error("payloads without register setters?")
+	}
+}
+
+func TestChainStatsComposition(t *testing.T) {
+	s := Summarize(nil)
+	if s.Chains != 0 {
+		t.Errorf("empty summarize = %+v", s)
+	}
+}

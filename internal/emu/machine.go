@@ -1,0 +1,590 @@
+package emu
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"github.com/nofreelunch/gadget-planner/internal/isa"
+)
+
+// Run-time errors.
+var (
+	ErrHalted      = errors.New("emu: hlt executed")
+	ErrBreakpoint  = errors.New("emu: int3 executed")
+	ErrDivByZero   = errors.New("emu: integer division by zero")
+	ErrDivOverflow = errors.New("emu: idiv quotient overflow")
+	ErrStepLimit   = errors.New("emu: step limit exceeded")
+)
+
+// SyscallHandler receives syscall instructions. The handler reads arguments
+// from and writes results into the machine's registers. Returning exit=true
+// stops the run loop cleanly.
+type SyscallHandler interface {
+	Syscall(m *Machine) (exit bool, err error)
+}
+
+// Machine is one emulated hart: registers, flags and an address space.
+type Machine struct {
+	Regs [isa.NumRegs]uint64
+	RIP  uint64
+
+	// Flags.
+	ZF, SF, OF, CF, PF bool
+
+	Mem   *Memory
+	OS    SyscallHandler
+	Steps uint64
+
+	// icache is a direct-mapped decoded-instruction cache, invalidated
+	// when executable memory is written (self-modifying code).
+	icache    []icEntry
+	icacheGen uint64
+}
+
+type icEntry struct {
+	addr  uint64
+	inst  isa.Inst
+	valid bool
+}
+
+const icacheSize = 1 << 14
+
+// NewMachine returns a machine with an empty address space.
+func NewMachine() *Machine {
+	return &Machine{Mem: NewMemory(), icache: make([]icEntry, icacheSize)}
+}
+
+// SetupStack maps a stack region and points rsp at its top (minus a small
+// red zone). It returns the initial rsp.
+func (m *Machine) SetupStack(base, size uint64) uint64 {
+	m.Mem.Map(base, size, PermRead|PermWrite)
+	top := base + size - 64
+	m.Regs[isa.RSP] = top
+	return top
+}
+
+func maskFor(size uint8) uint64 {
+	switch size {
+	case 1:
+		return 0xFF
+	case 4:
+		return 0xFFFF_FFFF
+	default:
+		return ^uint64(0)
+	}
+}
+
+func opBits(size uint8) uint { return uint(size) * 8 }
+
+func signBit(v uint64, size uint8) bool {
+	return v>>(opBits(size)-1)&1 == 1
+}
+
+// effAddr computes the effective address of a memory operand.
+func (m *Machine) effAddr(mem isa.Mem, instEnd uint64) uint64 {
+	if mem.RIPRel {
+		return instEnd + uint64(int64(mem.Disp))
+	}
+	var a uint64
+	if mem.HasBase {
+		a = m.Regs[mem.Base]
+	}
+	if mem.HasIndex {
+		a += m.Regs[mem.Index] * uint64(mem.Scale)
+	}
+	return a + uint64(int64(mem.Disp))
+}
+
+func (m *Machine) readOperand(op isa.Operand, size uint8, instEnd uint64) (uint64, error) {
+	switch op.Kind {
+	case isa.KindReg:
+		return m.Regs[op.Reg] & maskFor(size), nil
+	case isa.KindImm:
+		return uint64(op.Imm) & maskFor(size), nil
+	case isa.KindMem:
+		return m.Mem.Read(m.effAddr(op.Mem, instEnd), int(size))
+	}
+	return 0, fmt.Errorf("emu: read of empty operand")
+}
+
+func (m *Machine) writeOperand(op isa.Operand, size uint8, v uint64, instEnd uint64) error {
+	switch op.Kind {
+	case isa.KindReg:
+		switch size {
+		case 8:
+			m.Regs[op.Reg] = v
+		case 4:
+			m.Regs[op.Reg] = v & 0xFFFF_FFFF // 32-bit writes zero-extend
+		case 1:
+			m.Regs[op.Reg] = m.Regs[op.Reg]&^uint64(0xFF) | v&0xFF
+		}
+		return nil
+	case isa.KindMem:
+		return m.Mem.Write(m.effAddr(op.Mem, instEnd), v, int(size))
+	}
+	return fmt.Errorf("emu: write to non-lvalue operand")
+}
+
+// setPZS sets the parity, zero, and sign flags from a result.
+func (m *Machine) setPZS(r uint64, size uint8) {
+	r &= maskFor(size)
+	m.ZF = r == 0
+	m.SF = signBit(r, size)
+	m.PF = bits.OnesCount8(uint8(r))%2 == 0
+}
+
+// condHolds evaluates an x86 condition code against the current flags.
+func (m *Machine) condHolds(c isa.Cond) bool {
+	switch c {
+	case isa.CondO:
+		return m.OF
+	case isa.CondNO:
+		return !m.OF
+	case isa.CondB:
+		return m.CF
+	case isa.CondAE:
+		return !m.CF
+	case isa.CondE:
+		return m.ZF
+	case isa.CondNE:
+		return !m.ZF
+	case isa.CondBE:
+		return m.CF || m.ZF
+	case isa.CondA:
+		return !m.CF && !m.ZF
+	case isa.CondS:
+		return m.SF
+	case isa.CondNS:
+		return !m.SF
+	case isa.CondP:
+		return m.PF
+	case isa.CondNP:
+		return !m.PF
+	case isa.CondL:
+		return m.SF != m.OF
+	case isa.CondGE:
+		return m.SF == m.OF
+	case isa.CondLE:
+		return m.ZF || m.SF != m.OF
+	default: // CondG
+		return !m.ZF && m.SF == m.OF
+	}
+}
+
+func (m *Machine) push(v uint64) error {
+	m.Regs[isa.RSP] -= 8
+	return m.Mem.Write(m.Regs[isa.RSP], v, 8)
+}
+
+func (m *Machine) pop() (uint64, error) {
+	v, err := m.Mem.Read(m.Regs[isa.RSP], 8)
+	if err != nil {
+		return 0, err
+	}
+	m.Regs[isa.RSP] += 8
+	return v, nil
+}
+
+// fetch decodes the instruction at RIP, using the decode cache.
+func (m *Machine) fetch() (isa.Inst, error) {
+	if gen := m.Mem.CodeGeneration(); gen != m.icacheGen {
+		m.icacheGen = gen
+		for i := range m.icache {
+			m.icache[i].valid = false
+		}
+	}
+	slot := &m.icache[(m.RIP^m.RIP>>7)&(icacheSize-1)]
+	if slot.valid && slot.addr == m.RIP {
+		// Permission may have changed (mprotect); re-check executability.
+		if m.Mem.PermAt(m.RIP)&PermExec == 0 {
+			return isa.Inst{}, &MemFault{Addr: m.RIP, Op: "exec"}
+		}
+		return slot.inst, nil
+	}
+	window, err := m.Mem.FetchWindow(m.RIP, 16)
+	if err != nil {
+		return isa.Inst{}, err
+	}
+	inst, err := isa.Decode(window, m.RIP)
+	if err != nil {
+		return isa.Inst{}, fmt.Errorf("emu: decode at %#x: %w", m.RIP, err)
+	}
+	*slot = icEntry{addr: m.RIP, inst: inst, valid: true}
+	return inst, nil
+}
+
+// Step executes one instruction. It returns exit=true when the syscall
+// handler requests a clean stop.
+func (m *Machine) Step() (exit bool, err error) {
+	inst, err := m.fetch()
+	if err != nil {
+		return false, err
+	}
+	m.Steps++
+	next := inst.End()
+	size := inst.Size
+	if size == 0 {
+		size = 8
+	}
+
+	switch inst.Op {
+	case isa.OpNop:
+
+	case isa.OpMov:
+		v, err := m.readOperand(inst.B, size, next)
+		if err != nil {
+			return false, err
+		}
+		if err := m.writeOperand(inst.A, size, v, next); err != nil {
+			return false, err
+		}
+
+	case isa.OpLea:
+		if err := m.writeOperand(inst.A, size, m.effAddr(inst.B.Mem, next), next); err != nil {
+			return false, err
+		}
+
+	case isa.OpAdd, isa.OpSub, isa.OpCmp, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpTest:
+		a, err := m.readOperand(inst.A, size, next)
+		if err != nil {
+			return false, err
+		}
+		b, err := m.readOperand(inst.B, size, next)
+		if err != nil {
+			return false, err
+		}
+		var r uint64
+		switch inst.Op {
+		case isa.OpAdd:
+			r = (a + b) & maskFor(size)
+			m.CF = r < a
+			m.OF = signBit(^(a^b)&(a^r), size)
+		case isa.OpSub, isa.OpCmp:
+			r = (a - b) & maskFor(size)
+			m.CF = a < b
+			m.OF = signBit((a^b)&(a^r), size)
+		case isa.OpAnd, isa.OpTest:
+			r = a & b
+			m.CF, m.OF = false, false
+		case isa.OpOr:
+			r = a | b
+			m.CF, m.OF = false, false
+		case isa.OpXor:
+			r = a ^ b
+			m.CF, m.OF = false, false
+		}
+		m.setPZS(r, size)
+		if inst.Op != isa.OpCmp && inst.Op != isa.OpTest {
+			if err := m.writeOperand(inst.A, size, r, next); err != nil {
+				return false, err
+			}
+		}
+
+	case isa.OpNot:
+		a, err := m.readOperand(inst.A, size, next)
+		if err != nil {
+			return false, err
+		}
+		if err := m.writeOperand(inst.A, size, ^a&maskFor(size), next); err != nil {
+			return false, err
+		}
+
+	case isa.OpNeg:
+		a, err := m.readOperand(inst.A, size, next)
+		if err != nil {
+			return false, err
+		}
+		r := (-a) & maskFor(size)
+		m.CF = a != 0
+		m.OF = a != 0 && a == (uint64(1)<<(opBits(size)-1))
+		m.setPZS(r, size)
+		if err := m.writeOperand(inst.A, size, r, next); err != nil {
+			return false, err
+		}
+
+	case isa.OpInc, isa.OpDec:
+		a, err := m.readOperand(inst.A, size, next)
+		if err != nil {
+			return false, err
+		}
+		var r uint64
+		if inst.Op == isa.OpInc {
+			r = (a + 1) & maskFor(size)
+			m.OF = r == uint64(1)<<(opBits(size)-1)
+		} else {
+			r = (a - 1) & maskFor(size)
+			m.OF = a == uint64(1)<<(opBits(size)-1)
+		}
+		m.setPZS(r, size) // CF is preserved by inc/dec
+		if err := m.writeOperand(inst.A, size, r, next); err != nil {
+			return false, err
+		}
+
+	case isa.OpImul:
+		a, err := m.readOperand(inst.A, size, next)
+		if err != nil {
+			return false, err
+		}
+		b, err := m.readOperand(inst.B, size, next)
+		if err != nil {
+			return false, err
+		}
+		r := (a * b) & maskFor(size)
+		// CF/OF set when the full signed product does not fit.
+		hi, lo := bits.Mul64(a, b)
+		_ = hi
+		if size == 8 {
+			sHi, _ := mulS128(int64(a), int64(b))
+			full := sHi != int64(r)>>63
+			m.CF, m.OF = full, full
+		} else {
+			sa := int64(int32(uint32(a)))
+			sb := int64(int32(uint32(b)))
+			p := sa * sb
+			full := p != int64(int32(p))
+			m.CF, m.OF = full, full
+		}
+		_ = lo
+		m.setPZS(r, size)
+		if err := m.writeOperand(inst.A, size, r, next); err != nil {
+			return false, err
+		}
+
+	case isa.OpShl, isa.OpShr, isa.OpSar:
+		a, err := m.readOperand(inst.A, size, next)
+		if err != nil {
+			return false, err
+		}
+		cnt, err := m.readOperand(inst.B, 1, next)
+		if err != nil {
+			return false, err
+		}
+		cnt &= 0x3F
+		if size == 4 {
+			cnt &= 0x1F
+		}
+		if cnt != 0 {
+			var r uint64
+			switch inst.Op {
+			case isa.OpShl:
+				m.CF = cnt <= uint64(opBits(size)) && (a>>(uint64(opBits(size))-cnt))&1 == 1
+				r = (a << cnt) & maskFor(size)
+			case isa.OpShr:
+				m.CF = (a>>(cnt-1))&1 == 1
+				r = a >> cnt
+			case isa.OpSar:
+				m.CF = (a>>(cnt-1))&1 == 1
+				sv := int64(a << (64 - opBits(size)))
+				r = uint64(sv>>(64-opBits(size))>>cnt) & maskFor(size)
+			}
+			m.OF = false
+			m.setPZS(r, size)
+			if err := m.writeOperand(inst.A, size, r, next); err != nil {
+				return false, err
+			}
+		}
+
+	case isa.OpPush:
+		v, err := m.readOperand(inst.A, 8, next)
+		if err != nil {
+			return false, err
+		}
+		if inst.A.Kind == isa.KindImm {
+			v = uint64(inst.A.Imm) // push imm sign-extends to 64 bits
+		}
+		if err := m.push(v); err != nil {
+			return false, err
+		}
+
+	case isa.OpPop:
+		v, err := m.pop()
+		if err != nil {
+			return false, err
+		}
+		if err := m.writeOperand(inst.A, 8, v, next); err != nil {
+			return false, err
+		}
+
+	case isa.OpRet:
+		v, err := m.pop()
+		if err != nil {
+			return false, err
+		}
+		if inst.A.Kind == isa.KindImm {
+			m.Regs[isa.RSP] += uint64(inst.A.Imm)
+		}
+		m.RIP = v
+		return false, nil
+
+	case isa.OpJmp:
+		if inst.A.Kind == isa.KindImm {
+			m.RIP = uint64(inst.A.Imm)
+			return false, nil
+		}
+		v, err := m.readOperand(inst.A, 8, next)
+		if err != nil {
+			return false, err
+		}
+		m.RIP = v
+		return false, nil
+
+	case isa.OpJcc:
+		if m.condHolds(inst.Cond) {
+			m.RIP = uint64(inst.A.Imm)
+			return false, nil
+		}
+
+	case isa.OpCall:
+		var target uint64
+		if inst.A.Kind == isa.KindImm {
+			target = uint64(inst.A.Imm)
+		} else {
+			v, err := m.readOperand(inst.A, 8, next)
+			if err != nil {
+				return false, err
+			}
+			target = v
+		}
+		if err := m.push(next); err != nil {
+			return false, err
+		}
+		m.RIP = target
+		return false, nil
+
+	case isa.OpLeave:
+		m.Regs[isa.RSP] = m.Regs[isa.RBP]
+		v, err := m.pop()
+		if err != nil {
+			return false, err
+		}
+		m.Regs[isa.RBP] = v
+
+	case isa.OpXchg:
+		a, err := m.readOperand(inst.A, size, next)
+		if err != nil {
+			return false, err
+		}
+		b, err := m.readOperand(inst.B, size, next)
+		if err != nil {
+			return false, err
+		}
+		if err := m.writeOperand(inst.A, size, b, next); err != nil {
+			return false, err
+		}
+		if err := m.writeOperand(inst.B, size, a, next); err != nil {
+			return false, err
+		}
+
+	case isa.OpMovzx:
+		v, err := m.readOperand(inst.B, 1, next)
+		if err != nil {
+			return false, err
+		}
+		if err := m.writeOperand(inst.A, size, v, next); err != nil {
+			return false, err
+		}
+
+	case isa.OpMovsxd:
+		v, err := m.readOperand(inst.B, 4, next)
+		if err != nil {
+			return false, err
+		}
+		if err := m.writeOperand(inst.A, 8, uint64(int64(int32(uint32(v)))), next); err != nil {
+			return false, err
+		}
+
+	case isa.OpSetcc:
+		var v uint64
+		if m.condHolds(inst.Cond) {
+			v = 1
+		}
+		if err := m.writeOperand(inst.A, 1, v, next); err != nil {
+			return false, err
+		}
+
+	case isa.OpCqo:
+		if size == 8 {
+			m.Regs[isa.RDX] = uint64(int64(m.Regs[isa.RAX]) >> 63)
+		} else {
+			m.Regs[isa.RDX] = uint64(uint32(int32(uint32(m.Regs[isa.RAX])) >> 31))
+		}
+
+	case isa.OpIdiv:
+		d, err := m.readOperand(inst.A, size, next)
+		if err != nil {
+			return false, err
+		}
+		if d == 0 {
+			return false, ErrDivByZero
+		}
+		if size == 8 {
+			lo := int64(m.Regs[isa.RAX])
+			hi := int64(m.Regs[isa.RDX])
+			if hi != lo>>63 {
+				return false, ErrDivOverflow
+			}
+			q := lo / int64(d)
+			r := lo % int64(d)
+			m.Regs[isa.RAX] = uint64(q)
+			m.Regs[isa.RDX] = uint64(r)
+		} else {
+			lo := int64(int32(uint32(m.Regs[isa.RAX])))
+			q := lo / int64(int32(uint32(d)))
+			r := lo % int64(int32(uint32(d)))
+			m.Regs[isa.RAX] = uint64(uint32(int32(q)))
+			m.Regs[isa.RDX] = uint64(uint32(int32(r)))
+		}
+
+	case isa.OpSyscall:
+		if m.OS == nil {
+			return false, fmt.Errorf("emu: syscall at %#x with no handler", inst.Addr)
+		}
+		// Hardware clobbers rcx (return rip) and r11 (rflags).
+		m.Regs[isa.RCX] = next
+		m.Regs[isa.R11] = 0x202
+		exit, err := m.OS.Syscall(m)
+		if err != nil || exit {
+			return exit, err
+		}
+
+	case isa.OpHlt:
+		return false, ErrHalted
+	case isa.OpInt3:
+		return false, ErrBreakpoint
+
+	default:
+		return false, fmt.Errorf("emu: unimplemented op %s at %#x", inst.Op, inst.Addr)
+	}
+
+	m.RIP = next
+	return false, nil
+}
+
+// mulS128 returns the high and low halves of the full 128-bit signed product.
+func mulS128(a, b int64) (hi, lo int64) {
+	uhi, ulo := bits.Mul64(uint64(a), uint64(b))
+	shi := int64(uhi)
+	if a < 0 {
+		shi -= b
+	}
+	if b < 0 {
+		shi -= a
+	}
+	return shi, int64(ulo)
+}
+
+// Run steps the machine until the syscall handler requests exit, an error
+// occurs, or maxSteps instructions have executed.
+func (m *Machine) Run(maxSteps uint64) error {
+	for i := uint64(0); i < maxSteps; i++ {
+		exit, err := m.Step()
+		if err != nil {
+			return err
+		}
+		if exit {
+			return nil
+		}
+	}
+	return ErrStepLimit
+}

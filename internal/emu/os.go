@@ -1,0 +1,169 @@
+package emu
+
+import (
+	"bytes"
+
+	"github.com/nofreelunch/gadget-planner/internal/isa"
+)
+
+// Linux x86-64 syscall numbers used by the toolchain and by attack goals.
+const (
+	SysRead     = 0
+	SysWrite    = 1
+	SysMmap     = 9
+	SysMprotect = 10
+	SysMremap   = 25
+	SysGetpid   = 39
+	SysExecve   = 59
+	SysExit     = 60
+	SysExitGrp  = 231
+)
+
+// SyscallEvent records one syscall observed by the OS model.
+type SyscallEvent struct {
+	Num  uint64
+	Args [6]uint64
+	Path string // resolved first-argument string for execve
+}
+
+// OS is the default syscall handler: a tiny Linux model sufficient to run
+// the MiniC runtime and to observe attack payloads firing.
+//
+// A successful execve stops execution with exit=true, mirroring the real
+// system where the victim image is replaced; mprotect and mmap are applied
+// to the emulated address space and recorded.
+type OS struct {
+	Stdout   bytes.Buffer
+	Stdin    bytes.Reader
+	ExitCode uint64
+	Exited   bool
+	Events   []SyscallEvent
+
+	// StopOnExecve makes a successful execve terminate the run (default
+	// behaviour for exploit verification).
+	StopOnExecve bool
+
+	mmapNext uint64
+}
+
+// NewOS returns an OS model with execve-stop enabled.
+func NewOS() *OS {
+	return &OS{StopOnExecve: true, mmapNext: 0x7000_0000}
+}
+
+// LastEvent returns the most recent syscall event, or nil.
+func (o *OS) LastEvent() *SyscallEvent {
+	if len(o.Events) == 0 {
+		return nil
+	}
+	return &o.Events[len(o.Events)-1]
+}
+
+// EventFor returns the first recorded event with the given syscall number.
+func (o *OS) EventFor(num uint64) *SyscallEvent {
+	for i := range o.Events {
+		if o.Events[i].Num == num {
+			return &o.Events[i]
+		}
+	}
+	return nil
+}
+
+var _ SyscallHandler = (*OS)(nil)
+
+// Syscall implements SyscallHandler.
+func (o *OS) Syscall(m *Machine) (bool, error) {
+	num := m.Regs[isa.RAX]
+	ev := SyscallEvent{Num: num, Args: [6]uint64{
+		m.Regs[isa.RDI], m.Regs[isa.RSI], m.Regs[isa.RDX],
+		m.Regs[isa.R10], m.Regs[isa.R8], m.Regs[isa.R9],
+	}}
+
+	switch num {
+	case SysWrite:
+		fd, buf, n := ev.Args[0], ev.Args[1], ev.Args[2]
+		data, err := m.Mem.ReadBytes(buf, int(n))
+		if err != nil {
+			m.Regs[isa.RAX] = uint64(^uint64(13) + 1) // -EACCES
+			break
+		}
+		if fd == 1 || fd == 2 {
+			o.Stdout.Write(data)
+		}
+		m.Regs[isa.RAX] = n
+
+	case SysRead:
+		buf, n := ev.Args[1], ev.Args[2]
+		tmp := make([]byte, n)
+		read, _ := o.Stdin.Read(tmp)
+		if read > 0 {
+			if err := m.Mem.WriteBytes(buf, tmp[:read]); err != nil {
+				m.Regs[isa.RAX] = uint64(^uint64(13) + 1)
+				break
+			}
+		}
+		m.Regs[isa.RAX] = uint64(read)
+
+	case SysMmap:
+		length, prot := ev.Args[1], ev.Args[2]
+		addr := ev.Args[0]
+		if addr == 0 {
+			addr = o.mmapNext
+			o.mmapNext += (length + PageSize) &^ (PageSize - 1)
+		}
+		m.Mem.Map(addr, length, protToPerm(prot))
+		m.Regs[isa.RAX] = addr
+
+	case SysMprotect:
+		addr, length, prot := ev.Args[0], ev.Args[1], ev.Args[2]
+		if m.Mem.Protect(addr, length, protToPerm(prot)) {
+			m.Regs[isa.RAX] = 0
+		} else {
+			m.Regs[isa.RAX] = uint64(^uint64(12) + 1) // -ENOMEM
+		}
+
+	case SysMremap:
+		m.Regs[isa.RAX] = ev.Args[0]
+
+	case SysGetpid:
+		m.Regs[isa.RAX] = 4242
+
+	case SysExecve:
+		if path, err := m.Mem.ReadCString(ev.Args[0], 256); err == nil {
+			ev.Path = path
+		}
+		o.Events = append(o.Events, ev)
+		if o.StopOnExecve {
+			o.Exited = true
+			return true, nil
+		}
+		m.Regs[isa.RAX] = 0
+		return false, nil
+
+	case SysExit, SysExitGrp:
+		o.ExitCode = ev.Args[0]
+		o.Exited = true
+		o.Events = append(o.Events, ev)
+		return true, nil
+
+	default:
+		m.Regs[isa.RAX] = uint64(^uint64(38) + 1) // -ENOSYS
+	}
+
+	o.Events = append(o.Events, ev)
+	return false, nil
+}
+
+func protToPerm(prot uint64) Perm {
+	var p Perm
+	if prot&1 != 0 {
+		p |= PermRead
+	}
+	if prot&2 != 0 {
+		p |= PermWrite
+	}
+	if prot&4 != 0 {
+		p |= PermExec
+	}
+	return p
+}

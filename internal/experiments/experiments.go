@@ -1,0 +1,182 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section III and VI) as deterministic, structured experiments:
+// Fig. 1 (gadget counts), Table I (gadget classes), Table IV (tool
+// comparison), Table V (chain properties), Fig. 5 (per-obfuscation risk),
+// Table VI (SPEC-style programs), Table VII (per-stage performance), the
+// netperf case study (Section VI-C), and the ablations DESIGN.md calls out.
+//
+// Absolute numbers differ from the paper (the substrate is a from-scratch
+// toolchain and emulator, not gcc binaries on hardware); the experiments
+// reproduce the paper's *shapes*: who wins, by what rough factor, and which
+// obfuscations carry the most risk.
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"github.com/nofreelunch/gadget-planner/internal/benchprog"
+	"github.com/nofreelunch/gadget-planner/internal/core"
+	"github.com/nofreelunch/gadget-planner/internal/gadget"
+	"github.com/nofreelunch/gadget-planner/internal/obfuscate"
+	"github.com/nofreelunch/gadget-planner/internal/planner"
+	"github.com/nofreelunch/gadget-planner/internal/sbf"
+)
+
+// ObfConfig names an obfuscation configuration.
+type ObfConfig struct {
+	Name   string
+	Passes func() []obfuscate.Pass
+}
+
+// Configs returns the paper's three build configurations.
+func Configs() []ObfConfig {
+	return []ObfConfig{
+		{Name: "Original", Passes: func() []obfuscate.Pass { return nil }},
+		{Name: "LLVM-Obf", Passes: obfuscate.LLVMObf},
+		{Name: "Tigress", Passes: obfuscate.Tigress},
+	}
+}
+
+// Options scope an experiment run.
+type Options struct {
+	// Programs to include; default benchprog.Benchmarks().
+	Programs []benchprog.Program
+	// Seed for deterministic obfuscation.
+	Seed int64
+	// Planner budget per goal.
+	Planner planner.Options
+	// Quick trims the corpus to three programs for fast smoke runs.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Programs == nil {
+		o.Programs = benchprog.Benchmarks()
+	}
+	if o.Quick && len(o.Programs) > 3 {
+		o.Programs = o.Programs[:3]
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Planner.MaxPlans == 0 {
+		o.Planner.MaxPlans = 200
+	}
+	if o.Planner.MaxNodes == 0 {
+		o.Planner.MaxNodes = 10000
+	}
+	if o.Planner.Timeout == 0 {
+		o.Planner.Timeout = 20 * time.Second
+	}
+	return o
+}
+
+// Builder caches compiled binaries per (program, configuration).
+type Builder struct {
+	seed  int64
+	cache map[string]*sbf.Binary
+}
+
+// NewBuilder returns an empty build cache.
+func NewBuilder(seed int64) *Builder {
+	return &Builder{seed: seed, cache: make(map[string]*sbf.Binary)}
+}
+
+// Build compiles (or returns the cached) binary.
+func (b *Builder) Build(p benchprog.Program, cfg ObfConfig) (*sbf.Binary, error) {
+	key := p.Name + "|" + cfg.Name
+	if bin, ok := b.cache[key]; ok {
+		return bin, nil
+	}
+	bin, err := benchprog.Build(p, cfg.Passes(), b.seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: build %s: %w", key, err)
+	}
+	b.cache[key] = bin
+	return bin, nil
+}
+
+// gadgetChunks slices the gadget's contiguous instruction-run bytes out of
+// its source binary. Direct branches are excluded: their displacement bytes
+// are position-dependent and would differ across builds even for identical
+// logical gadgets.
+func gadgetChunks(src *sbf.Binary, g *gadget.Gadget) [][]byte {
+	var chunks [][]byte
+	var cur []byte
+	var lastEnd uint64
+	flush := func() {
+		if len(cur) > 0 {
+			chunks = append(chunks, cur)
+			cur = nil
+		}
+	}
+	for i, st := range g.Steps {
+		if st.Inst.IsDirectBranch() {
+			flush()
+			lastEnd = 0
+			continue
+		}
+		if i > 0 && st.Inst.Addr != lastEnd {
+			flush()
+		}
+		sec := src.SectionAt(st.Inst.Addr)
+		if sec == nil {
+			flush()
+			continue
+		}
+		off := st.Inst.Addr - sec.Addr
+		cur = append(cur, sec.Data[off:off+uint64(st.Inst.Len)]...)
+		lastEnd = st.Inst.End()
+	}
+	flush()
+	return chunks
+}
+
+// IsNewGadget reports whether the gadget's code does not occur anywhere in
+// the original binary — i.e. the obfuscator introduced it (the basis for
+// Table IV's parenthesized "newly introduced" counts).
+func IsNewGadget(src *sbf.Binary, g *gadget.Gadget, origText []byte) bool {
+	for _, chunk := range gadgetChunks(src, g) {
+		if !bytes.Contains(origText, chunk) {
+			return true
+		}
+	}
+	return false
+}
+
+// NewPayloads counts attack payloads whose chain relies on at least one
+// obfuscation-introduced gadget.
+func NewPayloads(src *sbf.Binary, attacks map[string]*core.Attack, origText []byte) int {
+	n := 0
+	for _, atk := range attacks {
+		for _, pl := range atk.Payloads {
+			for _, g := range pl.Chain {
+				if IsNewGadget(src, g, origText) {
+					n++
+					break
+				}
+			}
+		}
+	}
+	return n
+}
+
+// origTextOf builds the original binary and returns its text bytes.
+func origTextOf(b *Builder, p benchprog.Program) ([]byte, error) {
+	orig, err := b.Build(p, Configs()[0])
+	if err != nil {
+		return nil, err
+	}
+	sec := orig.Section(".text")
+	if sec == nil {
+		return nil, fmt.Errorf("experiments: %s has no text", p.Name)
+	}
+	return sec.Data, nil
+}
+
+// poolOf extracts the full gadget pool of a binary (test/diagnostic helper).
+func poolOf(bin *sbf.Binary) *gadget.Pool {
+	return gadget.Extract(bin, gadget.Options{})
+}

@@ -1,0 +1,496 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/nofreelunch/gadget-planner/internal/baseline"
+	"github.com/nofreelunch/gadget-planner/internal/baseline/angrop"
+	"github.com/nofreelunch/gadget-planner/internal/baseline/ropgadget"
+	"github.com/nofreelunch/gadget-planner/internal/baseline/sgc"
+	"github.com/nofreelunch/gadget-planner/internal/benchprog"
+	"github.com/nofreelunch/gadget-planner/internal/core"
+	"github.com/nofreelunch/gadget-planner/internal/gadget"
+	"github.com/nofreelunch/gadget-planner/internal/obfuscate"
+	"github.com/nofreelunch/gadget-planner/internal/planner"
+)
+
+// Fig1Row is one program's gadget counts across build configurations
+// (paper Fig. 1).
+type Fig1Row struct {
+	Program  string
+	Original int
+	LLVMObf  int
+	Tigress  int
+}
+
+// Fig1 counts classically-scanned gadgets per program and configuration.
+func Fig1(opts Options) ([]Fig1Row, error) {
+	opts = opts.withDefaults()
+	b := NewBuilder(opts.Seed)
+	var rows []Fig1Row
+	for _, p := range opts.Programs {
+		row := Fig1Row{Program: p.Name}
+		for _, cfg := range Configs() {
+			bin, err := b.Build(p, cfg)
+			if err != nil {
+				return nil, err
+			}
+			n := gadget.TotalCount(gadget.Count(bin, 10))
+			switch cfg.Name {
+			case "Original":
+				row.Original = n
+			case "LLVM-Obf":
+				row.LLVMObf = n
+			case "Tigress":
+				row.Tigress = n
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig1 prints the figure as a table.
+func RenderFig1(rows []Fig1Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %10s %10s %10s %8s %8s\n",
+		"Program", "Original", "LLVM-Obf", "Tigress", "LLVM-x", "Tig-x")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s %10d %10d %10d %7.2fx %7.2fx\n",
+			r.Program, r.Original, r.LLVMObf, r.Tigress,
+			ratio(r.LLVMObf, r.Original), ratio(r.Tigress, r.Original))
+	}
+	return sb.String()
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Table1Row is one gadget class's average counts (paper Table I).
+type Table1Row struct {
+	Type         gadget.JmpType
+	Original     float64
+	Obfuscated   float64 // mean of LLVM-Obf and Tigress builds
+	IncreaseRate float64 // percent
+}
+
+// Table1 computes per-class average gadget counts across the corpus.
+func Table1(opts Options) ([]Table1Row, error) {
+	opts = opts.withDefaults()
+	b := NewBuilder(opts.Seed)
+	sums := map[gadget.JmpType][3]float64{}
+	for _, p := range opts.Programs {
+		for ci, cfg := range Configs() {
+			bin, err := b.Build(p, cfg)
+			if err != nil {
+				return nil, err
+			}
+			for t, n := range gadget.Count(bin, 10) {
+				s := sums[t]
+				s[ci] += float64(n)
+				sums[t] = s
+			}
+		}
+	}
+	nProg := float64(len(opts.Programs))
+	var rows []Table1Row
+	for _, t := range []gadget.JmpType{
+		gadget.TypeReturn, gadget.TypeUDJ, gadget.TypeUIJ,
+		gadget.TypeCDJ, gadget.TypeCIJ, gadget.TypeSyscall,
+	} {
+		s := sums[t]
+		orig := s[0] / nProg
+		obf := (s[1] + s[2]) / (2 * nProg)
+		ir := 0.0
+		if orig > 0 {
+			ir = 100 * (obf - orig) / orig
+		}
+		rows = append(rows, Table1Row{Type: t, Original: orig, Obfuscated: obf, IncreaseRate: ir})
+	}
+	return rows, nil
+}
+
+// RenderTable1 prints Table I.
+func RenderTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %12s %12s %8s\n", "Type", "Original", "Obfuscated", "IR")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %12.1f %12.1f %7.1f%%\n",
+			r.Type, r.Original, r.Obfuscated, r.IncreaseRate)
+	}
+	return sb.String()
+}
+
+// Table4Row is one (configuration, tool) aggregate over the corpus
+// (paper Table IV).
+type Table4Row struct {
+	Obf       string
+	Tool      string
+	PoolTotal int // gadgets collected
+	PoolUsed  int // gadgets appearing in chains
+	Execve    int
+	Mprotect  int
+	Mmap      int
+	Total     int
+	NewTotal  int // payloads relying on obfuscation-introduced gadgets
+}
+
+// Table4 runs all four tools over the corpus per configuration.
+func Table4(opts Options) ([]Table4Row, map[string][]*core.Attack, error) {
+	opts = opts.withDefaults()
+	b := NewBuilder(opts.Seed)
+	// SGC gets the same search budget as Gadget-Planner; its handicap is
+	// its gadget selection, not its allowance (paper Section VI).
+	tools := []baseline.Tool{&ropgadget.Tool{}, &angrop.Tool{}, &sgc.Tool{
+		MaxPlans: opts.Planner.MaxPlans,
+		MaxNodes: opts.Planner.MaxNodes,
+		Timeout:  opts.Planner.Timeout,
+	}}
+
+	rowIdx := map[string]*Table4Row{}
+	var order []string
+	get := func(obf, tool string) *Table4Row {
+		k := obf + "|" + tool
+		if r, ok := rowIdx[k]; ok {
+			return r
+		}
+		r := &Table4Row{Obf: obf, Tool: tool}
+		rowIdx[k] = r
+		order = append(order, k)
+		return r
+	}
+	gpPlans := map[string][]*core.Attack{}
+
+	for _, p := range opts.Programs {
+		origText, err := origTextOf(b, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, cfg := range Configs() {
+			bin, err := b.Build(p, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, tool := range tools {
+				res := tool.Run(bin)
+				row := get(cfg.Name, res.ToolName)
+				row.PoolTotal += res.GadgetsTotal
+				row.PoolUsed += res.GadgetsUsed
+				row.Execve += res.PayloadsFor("execve")
+				row.Mprotect += res.PayloadsFor("mprotect")
+				row.Mmap += res.PayloadsFor("mmap")
+				row.Total += res.TotalPayloads()
+				if cfg.Name != "Original" {
+					for _, c := range res.Chains {
+						if !c.Verified {
+							continue
+						}
+						for _, g := range c.Gadgets {
+							if IsNewGadget(bin, g, origText) {
+								row.NewTotal++
+								break
+							}
+						}
+					}
+				}
+			}
+			// Gadget-Planner.
+			a := core.Analyze(bin, core.Config{Planner: opts.Planner})
+			attacks := a.FindAll()
+			row := get(cfg.Name, "Gadget-Planner")
+			row.PoolTotal += a.Pool.Size()
+			used := map[uint64]bool{}
+			for _, atk := range attacks {
+				for _, pl := range atk.Payloads {
+					for _, g := range pl.Chain {
+						used[g.Location] = true
+					}
+				}
+			}
+			row.PoolUsed += len(used)
+			row.Execve += len(attacks["execve"].Payloads)
+			row.Mprotect += len(attacks["mprotect"].Payloads)
+			row.Mmap += len(attacks["mmap"].Payloads)
+			row.Total += core.TotalPayloads(attacks)
+			if cfg.Name != "Original" {
+				row.NewTotal += NewPayloads(bin, attacks, origText)
+			}
+			gpPlans[cfg.Name] = append(gpPlans[cfg.Name], attacks["execve"], attacks["mprotect"], attacks["mmap"])
+		}
+	}
+
+	var rows []Table4Row
+	for _, k := range order {
+		rows = append(rows, *rowIdx[k])
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		oi := configOrder(rows[i].Obf)
+		oj := configOrder(rows[j].Obf)
+		if oi != oj {
+			return oi < oj
+		}
+		return toolOrder(rows[i].Tool) < toolOrder(rows[j].Tool)
+	})
+	return rows, gpPlans, nil
+}
+
+func configOrder(name string) int {
+	switch name {
+	case "Original":
+		return 0
+	case "LLVM-Obf":
+		return 1
+	default:
+		return 2
+	}
+}
+
+func toolOrder(name string) int {
+	switch name {
+	case "ROPGadget":
+		return 0
+	case "Angrop":
+		return 1
+	case "SGC":
+		return 2
+	default:
+		return 3
+	}
+}
+
+// RenderTable4 prints Table IV.
+func RenderTable4(rows []Table4Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %-15s %10s %6s %8s %9s %6s %8s\n",
+		"Obf", "Tool", "Pool", "Used", "execve", "mprotect", "mmap", "Total")
+	for _, r := range rows {
+		total := fmt.Sprintf("%d", r.Total)
+		if r.Obf != "Original" {
+			total = fmt.Sprintf("%d (+%d)", r.Total, r.NewTotal)
+		}
+		fmt.Fprintf(&sb, "%-10s %-15s %10d %6d %8d %9d %6d %8s\n",
+			r.Obf, r.Tool, r.PoolTotal, r.PoolUsed, r.Execve, r.Mprotect, r.Mmap, total)
+	}
+	return sb.String()
+}
+
+// Table5Row is one tool's chain-property summary (paper Table V).
+type Table5Row struct {
+	Tool  string
+	Stats core.ChainStats
+}
+
+// Table5 computes chain diversity/complexity for the Gadget-Planner chains
+// Table4 found. The baseline rows follow from their constructions: ROPGadget
+// and Angrop build 100%-return chains of 2-instruction gadgets; SGC adds
+// indirect jumps but never conditional or merged direct-jump gadgets.
+func Table5(gpAttacks map[string][]*core.Attack) []Table5Row {
+	var plans []*planner.Plan
+	for _, list := range gpAttacks {
+		for _, atk := range list {
+			plans = append(plans, atk.Plans...)
+		}
+	}
+	return []Table5Row{{Tool: "Gadget-Planner", Stats: core.Summarize(plans)}}
+}
+
+// RenderTable5 prints Table V.
+func RenderTable5(rows []Table5Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-15s %10s %10s %6s %6s %6s %6s\n",
+		"Tool", "GadgetLen", "ChainLen", "Ret", "IJ", "DJ", "CJ")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-15s %10.1f %10.1f %5.0f%% %5.0f%% %5.0f%% %5.0f%%\n",
+			r.Tool, r.Stats.AvgGadgetLen, r.Stats.AvgChainLen,
+			r.Stats.PctRet, r.Stats.PctIndirect, r.Stats.PctDirect, r.Stats.PctCond)
+	}
+	return sb.String()
+}
+
+// Fig5Row is one obfuscation pass's attack-surface contribution (paper
+// Fig. 5): payload counts when only that pass is applied.
+type Fig5Row struct {
+	Pass        string
+	Gadgets     int // classic gadget count
+	Payloads    int
+	NewPayloads int
+}
+
+// Fig5 measures each individual obfuscation pass, plus the self-
+// modification post-link transform (which — uniquely — *hides* the static
+// surface while leaving the decoded runtime image fully exploitable; see
+// obfuscate.SelfModifyBinary).
+func Fig5(opts Options) ([]Fig5Row, error) {
+	opts = opts.withDefaults()
+	b := NewBuilder(opts.Seed)
+	var rows []Fig5Row
+	for _, passName := range obfuscate.AllPassNames() {
+		passName := passName
+		cfg := ObfConfig{Name: passName, Passes: func() []obfuscate.Pass {
+			p, err := obfuscate.ByName(passName)
+			if err != nil {
+				return nil
+			}
+			return []obfuscate.Pass{p}
+		}}
+		row := Fig5Row{Pass: passName}
+		for _, p := range opts.Programs {
+			origText, err := origTextOf(b, p)
+			if err != nil {
+				return nil, err
+			}
+			bin, err := b.Build(p, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row.Gadgets += gadget.TotalCount(gadget.Count(bin, 10))
+			a := core.Analyze(bin, core.Config{Planner: opts.Planner})
+			attacks := a.FindAll()
+			row.Payloads += core.TotalPayloads(attacks)
+			row.NewPayloads += NewPayloads(bin, attacks, origText)
+		}
+		rows = append(rows, row)
+	}
+
+	// Self-modification: static scan of the encoded image.
+	smRow := Fig5Row{Pass: "selfmod"}
+	for _, p := range opts.Programs {
+		plain, err := b.Build(p, Configs()[0])
+		if err != nil {
+			return nil, err
+		}
+		sm, err := obfuscate.SelfModifyBinary(plain, byte(opts.Seed)|1)
+		if err != nil {
+			return nil, err
+		}
+		smRow.Gadgets += gadget.TotalCount(gadget.Count(sm, 10))
+		a := core.Analyze(sm, core.Config{Planner: opts.Planner})
+		smRow.Payloads += core.TotalPayloads(a.FindAll())
+	}
+	rows = append(rows, smRow)
+	return rows, nil
+}
+
+// RenderFig5 prints the figure as a table.
+func RenderFig5(rows []Fig5Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %10s %10s %12s\n", "Pass", "Gadgets", "Payloads", "NewPayloads")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %10d %10d %12d\n", r.Pass, r.Gadgets, r.Payloads, r.NewPayloads)
+	}
+	return sb.String()
+}
+
+// Table6Row is one SPEC-style program's per-tool chain counts (paper
+// Table VI).
+type Table6Row struct {
+	Benchmark string
+	Obf       string
+	Gadgets   int
+	RG        int
+	Angrop    int
+	SGC       int
+	GP        int
+}
+
+// Table6 runs the comparison on the SPEC-style corpus.
+func Table6(opts Options) ([]Table6Row, error) {
+	opts.Programs = benchprog.Spec()
+	opts = opts.withDefaults()
+	b := NewBuilder(opts.Seed)
+	var rows []Table6Row
+	for _, p := range opts.Programs {
+		for _, cfg := range Configs() {
+			bin, err := b.Build(p, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row := Table6Row{Benchmark: p.Name, Obf: cfg.Name}
+			row.Gadgets = gadget.TotalCount(gadget.Count(bin, 10))
+			row.RG = (&ropgadget.Tool{}).Run(bin).TotalPayloads()
+			row.Angrop = (&angrop.Tool{}).Run(bin).TotalPayloads()
+			row.SGC = (&sgc.Tool{}).Run(bin).TotalPayloads()
+			a := core.Analyze(bin, core.Config{Planner: opts.Planner})
+			row.GP = core.TotalPayloads(a.FindAll())
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable6 prints Table VI.
+func RenderTable6(rows []Table6Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %-10s %9s %4s %7s %4s %4s\n",
+		"Benchmark", "Obf", "Gadgets", "RG", "Angrop", "SGC", "GP")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %-10s %9d %4d %7d %4d %4d\n",
+			r.Benchmark, r.Obf, r.Gadgets, r.RG, r.Angrop, r.SGC, r.GP)
+	}
+	return sb.String()
+}
+
+// PoolCompositionRow reports which gadget classes exist in the minimized
+// pool per build configuration. Conditional-jump, merged direct-jump and
+// indirect-jump gadgets appear only after obfuscation — the pool-level view
+// of the increased attack surface.
+type PoolCompositionRow struct {
+	Obf         string
+	Pool        int
+	Conditional int
+	MergedDJ    int
+	Indirect    int
+	Deref       int
+}
+
+// PoolComposition classifies minimized-pool gadgets across the corpus.
+func PoolComposition(opts Options) ([]PoolCompositionRow, error) {
+	opts = opts.withDefaults()
+	b := NewBuilder(opts.Seed)
+	var rows []PoolCompositionRow
+	for _, cfg := range Configs() {
+		row := PoolCompositionRow{Obf: cfg.Name}
+		for _, p := range opts.Programs {
+			bin, err := b.Build(p, cfg)
+			if err != nil {
+				return nil, err
+			}
+			a := core.Analyze(bin, core.Config{})
+			row.Pool += a.Pool.Size()
+			for _, g := range a.Pool.Gadgets {
+				if g.HasCond {
+					row.Conditional++
+				}
+				if g.Merged {
+					row.MergedDJ++
+				}
+				if g.JmpType == gadget.TypeUIJ || g.JmpType == gadget.TypeCIJ {
+					row.Indirect++
+				}
+				if g.Effect.HasDerefs() {
+					row.Deref++
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderPoolComposition prints the class table.
+func RenderPoolComposition(rows []PoolCompositionRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %8s %8s %8s %8s %8s\n",
+		"Obf", "Pool", "CondJ", "MergedDJ", "Indirect", "Deref")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %8d %8d %8d %8d %8d\n",
+			r.Obf, r.Pool, r.Conditional, r.MergedDJ, r.Indirect, r.Deref)
+	}
+	return sb.String()
+}

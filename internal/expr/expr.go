@@ -1,0 +1,655 @@
+// Package expr implements a hash-consed bitvector and boolean expression DAG
+// with algebraic simplification. It is the term language shared by the
+// symbolic executor (pre/post-conditions of gadgets), the subsumption tester,
+// the partial-order planner, and the SMT solver.
+//
+// Widths are in bits; width 1 denotes a boolean. All bitvector operators
+// require equal operand widths. Width mismatches are programming errors and
+// panic; they cannot arise from analyzing binaries, only from bugs in the
+// analysis itself.
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind enumerates node kinds.
+type Kind uint8
+
+// Node kinds. BoolWidth-1 kinds produce booleans.
+const (
+	KindInvalid Kind = iota
+	KindConst        // Val, Width
+	KindVar          // Name, Width
+
+	// Bitvector operations.
+	KindAdd
+	KindSub
+	KindMul
+	KindAnd
+	KindOr
+	KindXor
+	KindShl
+	KindLshr
+	KindAshr
+	KindNot
+	KindNeg
+	KindZext  // zero-extend Args[0] to Width
+	KindSext  // sign-extend Args[0] to Width
+	KindTrunc // truncate Args[0] to Width
+	KindIte   // Args[0] bool ? Args[1] : Args[2]
+
+	// Boolean-valued comparisons over bitvectors.
+	KindEq
+	KindUlt
+	KindSlt
+
+	// Boolean connectives.
+	KindBAnd
+	KindBOr
+	KindBNot
+)
+
+// BoolWidth is the width used for boolean nodes.
+const BoolWidth = 1
+
+// Node is one immutable, hash-consed expression node. Nodes must be created
+// through a Builder; nodes from the same Builder can be compared by pointer.
+type Node struct {
+	Kind  Kind
+	Width uint8 // result width in bits (1 = bool)
+	Val   uint64
+	Name  string
+	Args  []*Node
+	id    uint32
+}
+
+// ID returns a builder-unique identifier, usable as a map key.
+func (n *Node) ID() uint32 { return n.id }
+
+// IsConst reports whether the node is a bitvector constant.
+func (n *Node) IsConst() bool { return n.Kind == KindConst && n.Width > 1 }
+
+// IsBoolConst reports whether the node is a boolean constant, and its value.
+func (n *Node) IsBoolConst() (value, ok bool) {
+	if n.Kind == KindConst && n.Width == BoolWidth {
+		return n.Val == 1, true
+	}
+	return false, false
+}
+
+type nodeKey struct {
+	kind       Kind
+	width      uint8
+	val        uint64
+	name       string
+	a0, a1, a2 uint32
+}
+
+// Builder interns nodes. The zero value is not usable; call NewBuilder.
+type Builder struct {
+	table map[nodeKey]*Node
+	next  uint32
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{table: make(map[nodeKey]*Node)}
+}
+
+// NumNodes returns how many distinct nodes have been interned.
+func (b *Builder) NumNodes() int { return len(b.table) }
+
+func (b *Builder) intern(kind Kind, width uint8, val uint64, name string, args ...*Node) *Node {
+	key := nodeKey{kind: kind, width: width, val: val, name: name}
+	switch len(args) {
+	case 3:
+		key.a2 = args[2].id + 1
+		fallthrough
+	case 2:
+		key.a1 = args[1].id + 1
+		fallthrough
+	case 1:
+		key.a0 = args[0].id + 1
+	}
+	if n, ok := b.table[key]; ok {
+		return n
+	}
+	b.next++
+	n := &Node{Kind: kind, Width: width, Val: val, Name: name, id: b.next}
+	if len(args) > 0 {
+		n.Args = append([]*Node(nil), args...)
+	}
+	b.table[key] = n
+	return n
+}
+
+func maskWidth(v uint64, w uint8) uint64 {
+	if w >= 64 {
+		return v
+	}
+	return v & (1<<w - 1)
+}
+
+func signExtend(v uint64, from uint8) uint64 {
+	shift := 64 - from
+	return uint64(int64(v<<shift) >> shift)
+}
+
+// Const returns a bitvector constant of the given width.
+func (b *Builder) Const(v uint64, w uint8) *Node {
+	return b.intern(KindConst, w, maskWidth(v, w), "")
+}
+
+// Bool returns a boolean constant.
+func (b *Builder) Bool(v bool) *Node {
+	var x uint64
+	if v {
+		x = 1
+	}
+	return b.intern(KindConst, BoolWidth, x, "")
+}
+
+// True and False return the boolean constants.
+func (b *Builder) True() *Node  { return b.Bool(true) }
+func (b *Builder) False() *Node { return b.Bool(false) }
+
+// Var returns a named bitvector variable.
+func (b *Builder) Var(name string, w uint8) *Node {
+	return b.intern(KindVar, w, 0, name)
+}
+
+func checkSameWidth(op string, x, y *Node) {
+	if x.Width != y.Width {
+		panic(fmt.Sprintf("expr: %s width mismatch: %d vs %d", op, x.Width, y.Width))
+	}
+}
+
+// orderCommutative puts a canonical order on commutative operands: constants
+// last, otherwise by node identity.
+func orderCommutative(x, y *Node) (*Node, *Node) {
+	if x.Kind == KindConst && y.Kind != KindConst {
+		return y, x
+	}
+	if x.Kind != KindConst && y.Kind != KindConst && x.id > y.id {
+		return y, x
+	}
+	return x, y
+}
+
+// Add returns x + y.
+func (b *Builder) Add(x, y *Node) *Node {
+	checkSameWidth("add", x, y)
+	x, y = orderCommutative(x, y)
+	if x.IsConst() && y.IsConst() {
+		return b.Const(x.Val+y.Val, x.Width)
+	}
+	if y.IsConst() && y.Val == 0 {
+		return x
+	}
+	// (x + c1) + c2 => x + (c1+c2)
+	if y.IsConst() && x.Kind == KindAdd && x.Args[1].IsConst() {
+		return b.Add(x.Args[0], b.Const(x.Args[1].Val+y.Val, x.Width))
+	}
+	return b.intern(KindAdd, x.Width, 0, "", x, y)
+}
+
+// Sub returns x - y.
+func (b *Builder) Sub(x, y *Node) *Node {
+	checkSameWidth("sub", x, y)
+	if x.IsConst() && y.IsConst() {
+		return b.Const(x.Val-y.Val, x.Width)
+	}
+	if y.IsConst() && y.Val == 0 {
+		return x
+	}
+	if x == y {
+		return b.Const(0, x.Width)
+	}
+	if y.IsConst() {
+		return b.Add(x, b.Const(-y.Val, x.Width))
+	}
+	// (a + c) - a => c, and (a + c1) - (a + c2) => c1 - c2. These arise
+	// constantly when tracking rsp as "entry rsp plus constant".
+	if x.Kind == KindAdd && x.Args[1].IsConst() {
+		if x.Args[0] == y {
+			return x.Args[1]
+		}
+		if y.Kind == KindAdd && y.Args[1].IsConst() && x.Args[0] == y.Args[0] {
+			return b.Const(x.Args[1].Val-y.Args[1].Val, x.Width)
+		}
+	}
+	// a - (a + c) => -c.
+	if y.Kind == KindAdd && y.Args[1].IsConst() && y.Args[0] == x {
+		return b.Const(-y.Args[1].Val, x.Width)
+	}
+	return b.intern(KindSub, x.Width, 0, "", x, y)
+}
+
+// Mul returns x * y.
+func (b *Builder) Mul(x, y *Node) *Node {
+	checkSameWidth("mul", x, y)
+	x, y = orderCommutative(x, y)
+	if x.IsConst() && y.IsConst() {
+		return b.Const(x.Val*y.Val, x.Width)
+	}
+	if y.IsConst() {
+		switch y.Val {
+		case 0:
+			return b.Const(0, x.Width)
+		case 1:
+			return x
+		}
+	}
+	return b.intern(KindMul, x.Width, 0, "", x, y)
+}
+
+// And returns x & y.
+func (b *Builder) And(x, y *Node) *Node {
+	checkSameWidth("and", x, y)
+	x, y = orderCommutative(x, y)
+	if x.IsConst() && y.IsConst() {
+		return b.Const(x.Val&y.Val, x.Width)
+	}
+	if y.IsConst() {
+		if y.Val == 0 {
+			return b.Const(0, x.Width)
+		}
+		if y.Val == maskWidth(^uint64(0), x.Width) {
+			return x
+		}
+	}
+	if x == y {
+		return x
+	}
+	return b.intern(KindAnd, x.Width, 0, "", x, y)
+}
+
+// Or returns x | y.
+func (b *Builder) Or(x, y *Node) *Node {
+	checkSameWidth("or", x, y)
+	x, y = orderCommutative(x, y)
+	if x.IsConst() && y.IsConst() {
+		return b.Const(x.Val|y.Val, x.Width)
+	}
+	if y.IsConst() {
+		if y.Val == 0 {
+			return x
+		}
+		if y.Val == maskWidth(^uint64(0), x.Width) {
+			return y
+		}
+	}
+	if x == y {
+		return x
+	}
+	return b.intern(KindOr, x.Width, 0, "", x, y)
+}
+
+// Xor returns x ^ y.
+func (b *Builder) Xor(x, y *Node) *Node {
+	checkSameWidth("xor", x, y)
+	x, y = orderCommutative(x, y)
+	if x.IsConst() && y.IsConst() {
+		return b.Const(x.Val^y.Val, x.Width)
+	}
+	if y.IsConst() && y.Val == 0 {
+		return x
+	}
+	if x == y {
+		return b.Const(0, x.Width)
+	}
+	return b.intern(KindXor, x.Width, 0, "", x, y)
+}
+
+// Shl returns x << y (shift amount taken modulo width, as on x86).
+func (b *Builder) Shl(x, y *Node) *Node {
+	checkSameWidth("shl", x, y)
+	if x.IsConst() && y.IsConst() {
+		return b.Const(x.Val<<(y.Val%uint64(x.Width)), x.Width)
+	}
+	if y.IsConst() && y.Val%uint64(x.Width) == 0 {
+		return x
+	}
+	return b.intern(KindShl, x.Width, 0, "", x, y)
+}
+
+// Lshr returns x >> y logically.
+func (b *Builder) Lshr(x, y *Node) *Node {
+	checkSameWidth("lshr", x, y)
+	if x.IsConst() && y.IsConst() {
+		return b.Const(x.Val>>(y.Val%uint64(x.Width)), x.Width)
+	}
+	if y.IsConst() && y.Val%uint64(x.Width) == 0 {
+		return x
+	}
+	return b.intern(KindLshr, x.Width, 0, "", x, y)
+}
+
+// Ashr returns x >> y arithmetically.
+func (b *Builder) Ashr(x, y *Node) *Node {
+	checkSameWidth("ashr", x, y)
+	if x.IsConst() && y.IsConst() {
+		sv := signExtend(x.Val, x.Width)
+		return b.Const(uint64(int64(sv)>>(y.Val%uint64(x.Width))), x.Width)
+	}
+	if y.IsConst() && y.Val%uint64(x.Width) == 0 {
+		return x
+	}
+	return b.intern(KindAshr, x.Width, 0, "", x, y)
+}
+
+// Not returns ^x.
+func (b *Builder) Not(x *Node) *Node {
+	if x.IsConst() {
+		return b.Const(^x.Val, x.Width)
+	}
+	if x.Kind == KindNot {
+		return x.Args[0]
+	}
+	return b.intern(KindNot, x.Width, 0, "", x)
+}
+
+// Neg returns -x.
+func (b *Builder) Neg(x *Node) *Node {
+	if x.IsConst() {
+		return b.Const(-x.Val, x.Width)
+	}
+	if x.Kind == KindNeg {
+		return x.Args[0]
+	}
+	return b.intern(KindNeg, x.Width, 0, "", x)
+}
+
+// Zext zero-extends x to width w.
+func (b *Builder) Zext(x *Node, w uint8) *Node {
+	if w == x.Width {
+		return x
+	}
+	if w < x.Width {
+		panic(fmt.Sprintf("expr: zext narrows %d to %d", x.Width, w))
+	}
+	if x.IsConst() {
+		return b.Const(x.Val, w)
+	}
+	return b.intern(KindZext, w, 0, "", x)
+}
+
+// Sext sign-extends x to width w.
+func (b *Builder) Sext(x *Node, w uint8) *Node {
+	if w == x.Width {
+		return x
+	}
+	if w < x.Width {
+		panic(fmt.Sprintf("expr: sext narrows %d to %d", x.Width, w))
+	}
+	if x.IsConst() {
+		return b.Const(maskWidth(signExtend(x.Val, x.Width), w), w)
+	}
+	return b.intern(KindSext, w, 0, "", x)
+}
+
+// Trunc truncates x to width w.
+func (b *Builder) Trunc(x *Node, w uint8) *Node {
+	if w == x.Width {
+		return x
+	}
+	if w > x.Width {
+		panic(fmt.Sprintf("expr: trunc widens %d to %d", x.Width, w))
+	}
+	if x.IsConst() {
+		return b.Const(x.Val, w)
+	}
+	if x.Kind == KindZext || x.Kind == KindSext {
+		inner := x.Args[0]
+		if inner.Width == w {
+			return inner
+		}
+		if inner.Width > w {
+			return b.Trunc(inner, w)
+		}
+	}
+	return b.intern(KindTrunc, w, 0, "", x)
+}
+
+// Ite returns cond ? x : y.
+func (b *Builder) Ite(cond, x, y *Node) *Node {
+	if cond.Width != BoolWidth {
+		panic("expr: ite condition must be boolean")
+	}
+	checkSameWidth("ite", x, y)
+	if v, ok := cond.IsBoolConst(); ok {
+		if v {
+			return x
+		}
+		return y
+	}
+	if x == y {
+		return x
+	}
+	return b.intern(KindIte, x.Width, 0, "", cond, x, y)
+}
+
+// Eq returns the boolean x == y.
+func (b *Builder) Eq(x, y *Node) *Node {
+	checkSameWidth("eq", x, y)
+	x, y = orderCommutative(x, y)
+	if x.IsConst() && y.IsConst() {
+		return b.Bool(x.Val == y.Val)
+	}
+	if x == y {
+		return b.True()
+	}
+	// (a + c1) == c2  =>  a == c2 - c1
+	if y.IsConst() && x.Kind == KindAdd && x.Args[1].IsConst() {
+		return b.Eq(x.Args[0], b.Const(y.Val-x.Args[1].Val, x.Width))
+	}
+	return b.intern(KindEq, BoolWidth, 0, "", x, y)
+}
+
+// Ne returns the boolean x != y.
+func (b *Builder) Ne(x, y *Node) *Node { return b.BNot(b.Eq(x, y)) }
+
+// Ult returns the boolean x < y, unsigned.
+func (b *Builder) Ult(x, y *Node) *Node {
+	checkSameWidth("ult", x, y)
+	if x.IsConst() && y.IsConst() {
+		return b.Bool(x.Val < y.Val)
+	}
+	if x == y {
+		return b.False()
+	}
+	if y.IsConst() && y.Val == 0 {
+		return b.False()
+	}
+	return b.intern(KindUlt, BoolWidth, 0, "", x, y)
+}
+
+// Slt returns the boolean x < y, signed.
+func (b *Builder) Slt(x, y *Node) *Node {
+	checkSameWidth("slt", x, y)
+	if x.IsConst() && y.IsConst() {
+		return b.Bool(int64(signExtend(x.Val, x.Width)) < int64(signExtend(y.Val, y.Width)))
+	}
+	if x == y {
+		return b.False()
+	}
+	return b.intern(KindSlt, BoolWidth, 0, "", x, y)
+}
+
+// BAnd returns the boolean conjunction.
+func (b *Builder) BAnd(x, y *Node) *Node {
+	x, y = orderCommutative(x, y)
+	if v, ok := x.IsBoolConst(); ok {
+		if v {
+			return y
+		}
+		return b.False()
+	}
+	if v, ok := y.IsBoolConst(); ok {
+		if v {
+			return x
+		}
+		return b.False()
+	}
+	if x == y {
+		return x
+	}
+	return b.intern(KindBAnd, BoolWidth, 0, "", x, y)
+}
+
+// BOr returns the boolean disjunction.
+func (b *Builder) BOr(x, y *Node) *Node {
+	x, y = orderCommutative(x, y)
+	if v, ok := x.IsBoolConst(); ok {
+		if v {
+			return b.True()
+		}
+		return y
+	}
+	if v, ok := y.IsBoolConst(); ok {
+		if v {
+			return b.True()
+		}
+		return x
+	}
+	if x == y {
+		return x
+	}
+	return b.intern(KindBOr, BoolWidth, 0, "", x, y)
+}
+
+// BNot returns the boolean negation.
+func (b *Builder) BNot(x *Node) *Node {
+	if v, ok := x.IsBoolConst(); ok {
+		return b.Bool(!v)
+	}
+	if x.Kind == KindBNot {
+		return x.Args[0]
+	}
+	return b.intern(KindBNot, BoolWidth, 0, "", x)
+}
+
+// AndAll conjoins a slice of booleans (true for the empty slice).
+func (b *Builder) AndAll(xs []*Node) *Node {
+	out := b.True()
+	for _, x := range xs {
+		out = b.BAnd(out, x)
+	}
+	return out
+}
+
+// String renders the node as an s-expression for diagnostics.
+func (n *Node) String() string {
+	var sb strings.Builder
+	n.format(&sb)
+	return sb.String()
+}
+
+var _kindNames = map[Kind]string{
+	KindAdd: "add", KindSub: "sub", KindMul: "mul", KindAnd: "and",
+	KindOr: "or", KindXor: "xor", KindShl: "shl", KindLshr: "lshr",
+	KindAshr: "ashr", KindNot: "not", KindNeg: "neg", KindZext: "zext",
+	KindSext: "sext", KindTrunc: "trunc", KindIte: "ite", KindEq: "=",
+	KindUlt: "u<", KindSlt: "s<", KindBAnd: "&&", KindBOr: "||", KindBNot: "!",
+}
+
+func (n *Node) format(sb *strings.Builder) {
+	switch n.Kind {
+	case KindConst:
+		if n.Width == BoolWidth {
+			if n.Val == 1 {
+				sb.WriteString("true")
+			} else {
+				sb.WriteString("false")
+			}
+			return
+		}
+		fmt.Fprintf(sb, "%#x", n.Val)
+	case KindVar:
+		sb.WriteString(n.Name)
+	default:
+		sb.WriteByte('(')
+		sb.WriteString(_kindNames[n.Kind])
+		for _, a := range n.Args {
+			sb.WriteByte(' ')
+			a.format(sb)
+		}
+		sb.WriteByte(')')
+	}
+}
+
+// Vars returns the sorted names of all variables appearing in the nodes.
+func Vars(nodes ...*Node) []string {
+	seen := make(map[string]bool)
+	var visit func(n *Node)
+	visited := make(map[uint32]bool)
+	visit = func(n *Node) {
+		if visited[n.id] {
+			return
+		}
+		visited[n.id] = true
+		if n.Kind == KindVar {
+			seen[n.Name] = true
+		}
+		for _, a := range n.Args {
+			visit(a)
+		}
+	}
+	for _, n := range nodes {
+		if n != nil {
+			visit(n)
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VarNodes returns the distinct variable nodes appearing in the nodes.
+func VarNodes(nodes ...*Node) []*Node {
+	var out []*Node
+	visited := make(map[uint32]bool)
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if visited[n.id] {
+			return
+		}
+		visited[n.id] = true
+		if n.Kind == KindVar {
+			out = append(out, n)
+		}
+		for _, a := range n.Args {
+			visit(a)
+		}
+	}
+	for _, n := range nodes {
+		if n != nil {
+			visit(n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Size returns the number of distinct nodes reachable from n.
+func Size(n *Node) int {
+	visited := make(map[uint32]bool)
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if visited[n.id] {
+			return
+		}
+		visited[n.id] = true
+		for _, a := range n.Args {
+			visit(a)
+		}
+	}
+	visit(n)
+	return len(visited)
+}

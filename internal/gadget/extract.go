@@ -1,0 +1,303 @@
+package gadget
+
+import (
+	"github.com/nofreelunch/gadget-planner/internal/expr"
+	"github.com/nofreelunch/gadget-planner/internal/isa"
+	"github.com/nofreelunch/gadget-planner/internal/sbf"
+	"github.com/nofreelunch/gadget-planner/internal/symex"
+)
+
+// Options tune extraction.
+type Options struct {
+	// MaxInsts caps the instruction count along one gadget path (including
+	// merged pieces). Default 40 — the spill-style code generator produces
+	// long basic blocks, and useful register loads sit well before the
+	// block terminator.
+	MaxInsts int
+	// MaxForks caps how many conditional jumps a path may pass through.
+	// Default 2.
+	MaxForks int
+	// MaxMerges caps how many direct jumps a path may follow. Default 3.
+	MaxMerges int
+	// Stride scans every Stride-th byte offset as a potential gadget start.
+	// Default 1 (every offset, finding unaligned gadgets).
+	Stride int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInsts == 0 {
+		o.MaxInsts = 40
+	}
+	if o.MaxForks == 0 {
+		o.MaxForks = 2
+	}
+	if o.MaxMerges == 0 {
+		o.MaxMerges = 3
+	}
+	if o.Stride == 0 {
+		o.Stride = 1
+	}
+	return o
+}
+
+// fetcher resolves code bytes at virtual addresses.
+type fetcher struct {
+	secs []*sbf.Section
+}
+
+func newFetcher(bin *sbf.Binary) *fetcher {
+	return &fetcher{secs: bin.ExecSections()}
+}
+
+// at returns the code slice starting at addr, or nil.
+func (f *fetcher) at(addr uint64) []byte {
+	for _, s := range f.secs {
+		if s.Contains(addr) {
+			return s.Data[addr-s.Addr:]
+		}
+	}
+	return nil
+}
+
+// Extract scans every executable byte offset of bin, walks gadget paths
+// (forking at conditional jumps, merging across direct jumps), runs symbolic
+// execution on each, and returns the pool of usable gadgets.
+func Extract(bin *sbf.Binary, opts Options) *Pool {
+	opts = opts.withDefaults()
+	b := expr.NewBuilder()
+	pool := &Pool{
+		Builder: b,
+		ByReg:   make(map[isa.Reg][]*Gadget),
+		Stats:   Stats{ByType: make(map[JmpType]int)},
+	}
+	f := newFetcher(bin)
+	seen := make(map[string]bool)
+
+	for _, sec := range f.secs {
+		for off := 0; off < len(sec.Data); off += opts.Stride {
+			pool.Stats.ScannedOffsets++
+			start := sec.Addr + uint64(off)
+			walk(f, start, nil, opts, func(steps []symex.Step, end symex.EndKind) {
+				pool.Stats.RawCandidates++
+				pool.Stats.ByType[Classify(steps, end)]++
+				emit(pool, b, start, steps, seen)
+			})
+		}
+	}
+	return pool
+}
+
+// walk follows one gadget path from addr, invoking found for every complete
+// (branch-terminated) path. The steps slice is owned by the caller chain and
+// copied on emission.
+func walk(f *fetcher, addr uint64, steps []symex.Step, opts Options, found func([]symex.Step, symex.EndKind)) {
+	forks, merges := 0, 0
+	for _, st := range steps {
+		switch {
+		case st.Inst.Op == isa.OpJcc:
+			forks++
+		case st.Inst.Op == isa.OpJmp && st.Inst.A.Kind == isa.KindImm:
+			merges++
+		}
+	}
+
+	for len(steps) < opts.MaxInsts {
+		code := f.at(addr)
+		if code == nil {
+			return
+		}
+		inst, err := isa.Decode(code, addr)
+		if err != nil {
+			return
+		}
+
+		switch {
+		case inst.Op == isa.OpRet:
+			found(append(steps, symex.Step{Inst: inst}), symex.EndRet)
+			return
+		case inst.Op == isa.OpSyscall:
+			found(append(steps, symex.Step{Inst: inst}), symex.EndSyscall)
+			return
+		case inst.Op == isa.OpJmp && inst.A.Kind != isa.KindImm:
+			found(append(steps, symex.Step{Inst: inst}), symex.EndJmpInd)
+			return
+		case inst.Op == isa.OpCall && inst.A.Kind != isa.KindImm:
+			found(append(steps, symex.Step{Inst: inst}), symex.EndCallInd)
+			return
+		case inst.Op == isa.OpJmp: // direct: merge with the target gadget
+			if merges >= opts.MaxMerges {
+				found(append(steps, symex.Step{Inst: inst}), symex.EndJmpDir)
+				return
+			}
+			merges++
+			steps = append(steps, symex.Step{Inst: inst})
+			addr = uint64(inst.A.Imm)
+		case inst.Op == isa.OpCall: // direct call: follow into the callee
+			if merges >= opts.MaxMerges {
+				return
+			}
+			merges++
+			steps = append(steps, symex.Step{Inst: inst})
+			addr = uint64(inst.A.Imm)
+		case inst.Op == isa.OpJcc:
+			if forks >= opts.MaxForks {
+				// Report the taken-terminal variant for counting, then stop.
+				found(append(steps, symex.Step{Inst: inst, Taken: true}), symex.EndJmpDir)
+				return
+			}
+			// Fork: the taken path continues at the target (Fig. 4c), the
+			// not-taken path falls through (Fig. 4b).
+			taken := append(append([]symex.Step(nil), steps...), symex.Step{Inst: inst, Taken: true})
+			walk(f, uint64(inst.A.Imm), taken, opts, found)
+			steps = append(steps, symex.Step{Inst: inst, Taken: false})
+			addr = inst.End()
+			forks++
+		case inst.Op == isa.OpHlt || inst.Op == isa.OpInt3:
+			return // traps end the path unusably
+		default:
+			steps = append(steps, symex.Step{Inst: inst})
+			addr = inst.End()
+		}
+	}
+}
+
+// pathKey identifies a gadget path for deduplication.
+func pathKey(start uint64, steps []symex.Step) string {
+	key := make([]byte, 0, 8+len(steps)*9)
+	for i := 0; i < 8; i++ {
+		key = append(key, byte(start>>(8*i)))
+	}
+	for _, st := range steps {
+		a := st.Inst.Addr
+		for i := 0; i < 8; i++ {
+			key = append(key, byte(a>>(8*i)))
+		}
+		if st.Taken {
+			key = append(key, 1)
+		} else {
+			key = append(key, 0)
+		}
+	}
+	return string(key)
+}
+
+// emit runs symbolic execution on a complete path and adds the gadget to the
+// pool if its semantics are supported.
+func emit(pool *Pool, b *expr.Builder, start uint64, steps []symex.Step, seen map[string]bool) {
+	// Paths that end in a direct jump are counted but not pooled: their
+	// next-RIP is a constant, so they cannot continue an attacker chain
+	// (merged variants of them are walked separately).
+	last := steps[len(steps)-1]
+	if last.Inst.Op == isa.OpJcc ||
+		(last.Inst.Op == isa.OpJmp && last.Inst.A.Kind == isa.KindImm) {
+		return
+	}
+
+	key := pathKey(start, steps)
+	if seen[key] {
+		return
+	}
+	seen[key] = true
+
+	eff, err := symex.Exec(b, steps)
+	if err != nil {
+		pool.Stats.Unsupported++
+		return
+	}
+	pool.Stats.Supported++
+
+	g := &Gadget{
+		Location: start,
+		Len:      pathLen(steps),
+		JmpType:  Classify(steps, eff.End),
+		Steps:    steps,
+		Effect:   eff,
+	}
+	for _, st := range steps {
+		if st.Inst.Op == isa.OpJcc {
+			g.HasCond = true
+		}
+		if st.Inst.Op == isa.OpJmp && st.Inst.A.Kind == isa.KindImm {
+			g.Merged = true
+		}
+	}
+	if g.Merged {
+		pool.Stats.MergedGadgets++
+	}
+	fillRecord(b, g)
+	pool.add(g)
+}
+
+// pathLen sums the encoded byte length of the path.
+func pathLen(steps []symex.Step) int {
+	n := 0
+	for _, st := range steps {
+		n += int(st.Inst.Len)
+	}
+	return n
+}
+
+// Count performs the cheap classic scan used for Fig. 1 / Table I numbers:
+// decode from every byte offset until the first branch instruction and
+// classify it. No symbolic execution, no merging, no forking — this mirrors
+// what syntactic tools such as ROPGadget count.
+func Count(bin *sbf.Binary, maxInsts int) map[JmpType]int {
+	if maxInsts == 0 {
+		maxInsts = 10
+	}
+	counts := make(map[JmpType]int)
+	for _, sec := range bin.ExecSections() {
+		for off := 0; off < len(sec.Data); off++ {
+			addr := sec.Addr + uint64(off)
+			code := sec.Data[off:]
+			pos := 0
+			hasCond := false
+			for n := 0; n < maxInsts; n++ {
+				inst, err := isa.Decode(code[pos:], addr+uint64(pos))
+				if err != nil {
+					break
+				}
+				pos += int(inst.Len)
+				var t JmpType
+				switch {
+				case inst.Op == isa.OpRet:
+					t = TypeReturn
+				case inst.Op == isa.OpSyscall:
+					t = TypeSyscall
+				case inst.Op == isa.OpJmp && inst.A.Kind == isa.KindImm:
+					t = TypeUDJ
+					if hasCond {
+						t = TypeCDJ
+					}
+				case (inst.Op == isa.OpJmp || inst.Op == isa.OpCall) && inst.A.Kind != isa.KindImm:
+					t = TypeUIJ
+					if hasCond {
+						t = TypeCIJ
+					}
+				case inst.Op == isa.OpCall:
+					// Direct call: classic scanners stop without counting.
+					t = TypeInvalid
+				case inst.Op == isa.OpJcc:
+					hasCond = true
+					continue
+				default:
+					continue
+				}
+				if t != TypeInvalid {
+					counts[t]++
+				}
+				break
+			}
+		}
+	}
+	return counts
+}
+
+// TotalCount sums a Count result.
+func TotalCount(counts map[JmpType]int) int {
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}

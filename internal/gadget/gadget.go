@@ -1,0 +1,176 @@
+// Package gadget implements Gadget-Planner's extraction stage (paper
+// Section IV-B): decoding gadget candidates from every byte offset of the
+// executable sections (finding unaligned gadgets), classifying them by
+// termination (Table I), following and merging direct jumps, forking on
+// conditional jumps (Fig. 4), and attaching the symbolic Table II record via
+// symex.
+package gadget
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/nofreelunch/gadget-planner/internal/expr"
+	"github.com/nofreelunch/gadget-planner/internal/isa"
+	"github.com/nofreelunch/gadget-planner/internal/symex"
+)
+
+// JmpType classifies a gadget by its control-flow shape (Table I).
+type JmpType uint8
+
+// Gadget classes.
+const (
+	TypeInvalid JmpType = iota
+	TypeReturn          // ends with ret
+	TypeUDJ             // unconditional direct jump
+	TypeUIJ             // unconditional indirect jump (jmp/call reg or mem)
+	TypeCDJ             // conditional, ends direct
+	TypeCIJ             // conditional, ends indirect
+	TypeSyscall         // ends with syscall
+)
+
+var _jmpTypeNames = map[JmpType]string{
+	TypeReturn: "Return", TypeUDJ: "UDJ", TypeUIJ: "UIJ",
+	TypeCDJ: "CDJ", TypeCIJ: "CIJ", TypeSyscall: "Syscall",
+}
+
+// String names the class as in the paper's Table I.
+func (t JmpType) String() string {
+	if n, ok := _jmpTypeNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("JmpType(%d)", uint8(t))
+}
+
+// Gadget is one usable gadget with its Table II record.
+type Gadget struct {
+	// ID is the gadget's index in its pool.
+	ID int
+	// Location is the address of the first instruction (Table II).
+	Location uint64
+	// Len is the gadget length in bytes across all merged pieces (Table II).
+	Len int
+	// JmpType is the terminal jump classification (Table II).
+	JmpType JmpType
+	// Steps are the instructions along the gadget's path, with branch
+	// directions for the conditional jumps passed through.
+	Steps []symex.Step
+	// Effect is the symbolic summary: post-conditions (register values,
+	// stack writes, next RIP) and pre-conditions (path constraints).
+	Effect *symex.Effect
+	// ClobRegs are registers whose contents are overwritten (Table II).
+	ClobRegs []isa.Reg
+	// CtrlRegs are registers that end up holding an attacker-controlled
+	// stack value (Table II's "can be controlled through the gadget").
+	CtrlRegs []isa.Reg
+	// Merged reports whether the gadget crosses a direct jump.
+	Merged bool
+	// HasCond reports whether the path passes through a conditional jump.
+	HasCond bool
+}
+
+// NumInsts returns the instruction count along the gadget path.
+func (g *Gadget) NumInsts() int { return len(g.Steps) }
+
+// String renders "addr: inst; inst; ..." for diagnostics and reports.
+func (g *Gadget) String() string {
+	s := fmt.Sprintf("%#x:", g.Location)
+	for _, st := range g.Steps {
+		s += " " + st.Inst.String() + ";"
+	}
+	return s
+}
+
+// Classify computes the Table I class from the gadget's path shape.
+func Classify(steps []symex.Step, end symex.EndKind) JmpType {
+	hasCond := false
+	for _, st := range steps {
+		if st.Inst.Op == isa.OpJcc {
+			hasCond = true
+		}
+	}
+	switch end {
+	case symex.EndRet:
+		return TypeReturn
+	case symex.EndSyscall:
+		return TypeSyscall
+	case symex.EndJmpInd, symex.EndCallInd:
+		if hasCond {
+			return TypeCIJ
+		}
+		return TypeUIJ
+	case symex.EndJmpDir:
+		if hasCond {
+			return TypeCDJ
+		}
+		return TypeUDJ
+	}
+	return TypeInvalid
+}
+
+// Pool is the gadget library for one binary: the searchable, register-indexed
+// collection the planner draws from (paper Section V).
+type Pool struct {
+	// Builder owns every expression in the pool's effects.
+	Builder *expr.Builder
+	// Gadgets lists all usable gadgets, ID-indexed.
+	Gadgets []*Gadget
+	// ByReg indexes gadgets by the registers their effect writes.
+	ByReg map[isa.Reg][]*Gadget
+	// Syscalls lists syscall-terminated gadgets (attack goal anchors).
+	Syscalls []*Gadget
+	// Stats summarizes extraction.
+	Stats Stats
+}
+
+// Stats counts extraction outcomes.
+type Stats struct {
+	// ScannedOffsets is how many byte offsets were tried as gadget starts.
+	ScannedOffsets int
+	// RawCandidates is how many branch-terminated sequences were decodable.
+	RawCandidates int
+	// Supported is how many candidates symex could model (pool size before
+	// subsumption).
+	Supported int
+	// Unsupported counts candidates rejected by the symbolic executor.
+	Unsupported int
+	// MergedGadgets counts pool gadgets built across direct jumps.
+	MergedGadgets int
+	// ByType counts raw candidates per Table I class.
+	ByType map[JmpType]int
+}
+
+// add inserts a gadget into the pool and its indexes.
+func (p *Pool) add(g *Gadget) {
+	g.ID = len(p.Gadgets)
+	p.Gadgets = append(p.Gadgets, g)
+	if g.JmpType == TypeSyscall {
+		p.Syscalls = append(p.Syscalls, g)
+	}
+	for _, r := range g.ClobRegs {
+		p.ByReg[r] = append(p.ByReg[r], g)
+	}
+}
+
+// Size returns the number of usable gadgets.
+func (p *Pool) Size() int { return len(p.Gadgets) }
+
+// fillRecord computes the ClobRegs/CtrlRegs fields from the effect.
+func fillRecord(b *expr.Builder, g *Gadget) {
+	eff := g.Effect
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if r == isa.RSP {
+			continue // rsp movement is tracked by StackDelta
+		}
+		initial := b.Var(symex.RegVarName(r), 64)
+		if eff.Regs[r] == initial {
+			continue
+		}
+		g.ClobRegs = append(g.ClobRegs, r)
+		if v := eff.Regs[r]; v.Kind == expr.KindVar && symex.IsAttackerVar(v.Name) {
+			g.CtrlRegs = append(g.CtrlRegs, r)
+		}
+	}
+	sort.Slice(g.ClobRegs, func(i, j int) bool { return g.ClobRegs[i] < g.ClobRegs[j] })
+	sort.Slice(g.CtrlRegs, func(i, j int) bool { return g.CtrlRegs[i] < g.CtrlRegs[j] })
+}

@@ -1,0 +1,66 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkDecodeLinear(b *testing.B) {
+	// A realistic instruction mix.
+	var code []byte
+	insts := []Inst{
+		{Op: OpMov, Size: 8, A: RegOp(RAX), B: MemOp(RBP, -0x20)},
+		{Op: OpAdd, Size: 8, A: RegOp(RAX), B: RegOp(RCX)},
+		{Op: OpMov, Size: 8, A: MemOp(RBP, -0x28), B: RegOp(RAX)},
+		{Op: OpCmp, Size: 8, A: RegOp(RAX), B: ImmOp(100)},
+		{Op: OpPush, A: RegOp(RBX)},
+		{Op: OpPop, A: RegOp(RBX)},
+		{Op: OpLea, Size: 8, A: RegOp(RDX), B: MemOpIdx(RBX, RCX, 8, 0x40)},
+		{Op: OpRet},
+	}
+	for _, inst := range insts {
+		enc, err := Encode(inst, uint64(len(code)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		code = append(code, enc...)
+	}
+	b.SetBytes(int64(len(code)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pos := 0
+		for pos < len(code) {
+			inst, err := Decode(code[pos:], uint64(pos))
+			if err != nil {
+				b.Fatal(err)
+			}
+			pos += int(inst.Len)
+		}
+	}
+}
+
+func BenchmarkDecodeRandomBytes(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]byte, 4096)
+	rng.Read(buf)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for off := 0; off < len(buf)-16; off++ {
+			_, _ = Decode(buf[off:], uint64(off))
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	inst := Inst{Op: OpMov, Size: 8, A: RegOp(RAX), B: MemOpIdx(RBX, RCX, 8, 0x1234)}
+	buf := make([]byte, 0, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = Append(buf[:0], inst, 0x400000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

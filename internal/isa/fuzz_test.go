@@ -1,0 +1,42 @@
+package isa
+
+import "testing"
+
+// FuzzDecode asserts the decoder's total-safety contract on arbitrary
+// bytes: never panic, never claim more bytes than provided, never return a
+// zero-length instruction, and always re-encode stably.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{0x5F, 0xC3})
+	f.Add([]byte{0x48, 0x8B, 0x44, 0x24, 0x10})
+	f.Add([]byte{0x0F, 0x05})
+	f.Add([]byte{0x48, 0xB8, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0xE9, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Add([]byte{0x41, 0xFF, 0xE0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, err := Decode(data, 0x400000)
+		if err != nil {
+			return
+		}
+		if inst.Len == 0 || int(inst.Len) > len(data) || inst.Len > 16 {
+			t.Fatalf("bad length %d for %x", inst.Len, data)
+		}
+		_ = inst.String()
+		// Re-encoding the decoded form must be stable (encode→decode→encode
+		// fixpoint), when the form is encodable at all.
+		enc, err := Encode(inst, 0x400000)
+		if err != nil {
+			return
+		}
+		dec, err := Decode(enc, 0x400000)
+		if err != nil {
+			t.Fatalf("re-decode of %x failed: %v", enc, err)
+		}
+		enc2, err := Encode(dec, 0x400000)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if string(enc) != string(enc2) {
+			t.Fatalf("unstable: %x vs %x", enc, enc2)
+		}
+	})
+}

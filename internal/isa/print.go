@@ -1,0 +1,136 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// sizePrefix returns the Intel size keyword for memory operands.
+func sizePrefix(size uint8) string {
+	switch size {
+	case 1:
+		return "byte"
+	case 4:
+		return "dword"
+	default:
+		return "qword"
+	}
+}
+
+// formatOperand renders one operand in Intel syntax at the given operand size.
+func formatOperand(o Operand, size uint8) string {
+	switch o.Kind {
+	case KindReg:
+		return o.Reg.Name(size)
+	case KindImm:
+		if o.Imm >= 0 && o.Imm < 10 {
+			return fmt.Sprintf("%d", o.Imm)
+		}
+		if o.Imm < 0 {
+			return fmt.Sprintf("-0x%x", uint64(-o.Imm))
+		}
+		return fmt.Sprintf("0x%x", uint64(o.Imm))
+	case KindMem:
+		var sb strings.Builder
+		sb.WriteString(sizePrefix(size))
+		sb.WriteString(" [")
+		m := o.Mem
+		wrote := false
+		if m.RIPRel {
+			sb.WriteString("rip")
+			wrote = true
+		}
+		if m.HasBase {
+			sb.WriteString(m.Base.String())
+			wrote = true
+		}
+		if m.HasIndex {
+			if wrote {
+				sb.WriteByte('+')
+			}
+			sb.WriteString(m.Index.String())
+			if m.Scale > 1 {
+				fmt.Fprintf(&sb, "*%d", m.Scale)
+			}
+			wrote = true
+		}
+		if m.Disp != 0 || !wrote {
+			switch {
+			case !wrote:
+				fmt.Fprintf(&sb, "0x%x", uint32(m.Disp))
+			case m.Disp < 0:
+				fmt.Fprintf(&sb, "-0x%x", uint32(-m.Disp))
+			default:
+				fmt.Fprintf(&sb, "+0x%x", uint32(m.Disp))
+			}
+		}
+		sb.WriteByte(']')
+		return sb.String()
+	default:
+		return "<none>"
+	}
+}
+
+// String renders the instruction in Intel syntax, e.g. "mov rax, 0x3b" or
+// "jne 0x401234".
+func (i Inst) String() string {
+	switch i.Op {
+	case OpNop, OpRet, OpLeave, OpInt3, OpHlt, OpSyscall, OpCqo:
+		if i.Op == OpRet && i.A.Kind == KindImm {
+			return fmt.Sprintf("ret %s", formatOperand(i.A, 2))
+		}
+		return i.Op.String()
+	case OpJcc:
+		return fmt.Sprintf("j%s %s", i.Cond, formatOperand(i.A, 8))
+	case OpSetcc:
+		return fmt.Sprintf("set%s %s", i.Cond, formatOperand(i.A, 1))
+	case OpJmp, OpCall:
+		return fmt.Sprintf("%s %s", i.Op, formatOperand(i.A, 8))
+	case OpPush, OpPop:
+		return fmt.Sprintf("%s %s", i.Op, formatOperand(i.A, 8))
+	case OpNot, OpNeg, OpInc, OpDec, OpIdiv:
+		return fmt.Sprintf("%s %s", i.Op, formatOperand(i.A, i.opSize()))
+	default:
+		if i.B.Kind == KindNone {
+			return fmt.Sprintf("%s %s", i.Op, formatOperand(i.A, i.opSize()))
+		}
+		aSize, bSize := i.opSize(), i.opSize()
+		switch i.Op {
+		case OpMovzx:
+			bSize = 1
+		case OpMovsxd:
+			bSize = 4
+		case OpShl, OpShr, OpSar:
+			if i.B.Kind == KindReg {
+				bSize = 1 // cl
+			}
+		}
+		return fmt.Sprintf("%s %s, %s", i.Op, formatOperand(i.A, aSize), formatOperand(i.B, bSize))
+	}
+}
+
+func (i Inst) opSize() uint8 {
+	if i.Size == 0 {
+		return 8
+	}
+	return i.Size
+}
+
+// DisasmText decodes straight-line code starting at addr and renders one
+// instruction per line, stopping at the first undecodable byte or after the
+// buffer is exhausted. It is intended for diagnostics and examples.
+func DisasmText(code []byte, addr uint64) string {
+	var sb strings.Builder
+	pos := 0
+	for pos < len(code) {
+		inst, err := Decode(code[pos:], addr+uint64(pos))
+		if err != nil {
+			fmt.Fprintf(&sb, "%#08x: (bad byte %#02x)\n", addr+uint64(pos), code[pos])
+			pos++
+			continue
+		}
+		fmt.Fprintf(&sb, "%#08x: %s\n", inst.Addr, inst)
+		pos += int(inst.Len)
+	}
+	return sb.String()
+}

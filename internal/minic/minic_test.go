@@ -1,0 +1,154 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`int x = 0x1F + 'a'; // comment
+char *s = "hi\n"; /* block
+comment */ if (x >= 2) { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.String())
+	}
+	joined := strings.Join(kinds, " ")
+	for _, want := range []string{"int", "x", "=", "31", "+", "97", `"hi\n"`, ">=", "EOF"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing token %q in %q", want, joined)
+		}
+	}
+}
+
+func TestLexLineNumbers(t *testing.T) {
+	toks, err := Lex("a\nb\n\nc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[1].Line != 2 || toks[2].Line != 4 {
+		t.Errorf("lines = %d %d %d", toks[0].Line, toks[1].Line, toks[2].Line)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"`", `"unterminated`, "'x", "/* unterminated"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseProgramShape(t *testing.T) {
+	src := `
+int g = 5;
+int arr[3] = {1, 2, 3};
+char msg[] = "hello";
+int add(int a, int b) { return a + b; }
+void run() {
+    int i;
+    for (i = 0; i < 10; i++) {
+        if (i % 2 == 0) continue;
+        if (i > 7) break;
+    }
+    while (i) i--;
+}
+int main() { run(); return add(1, 2); }
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Globals) != 3 {
+		t.Errorf("globals = %d", len(prog.Globals))
+	}
+	if len(prog.Funcs) != 3 {
+		t.Errorf("funcs = %d", len(prog.Funcs))
+	}
+	if prog.Globals[1].Type.Len != 3 {
+		t.Errorf("arr len = %d", prog.Globals[1].Type.Len)
+	}
+	if prog.Globals[2].Type.Len != 6 { // "hello" + NUL
+		t.Errorf("msg len = %d", prog.Globals[2].Type.Len)
+	}
+	if len(prog.Funcs[0].Params) != 2 {
+		t.Errorf("add params = %d", len(prog.Funcs[0].Params))
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog, err := Parse("int main() { return 1 + 2 * 3; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := prog.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	bin := ret.Val.(*BinExpr)
+	if bin.Op != "+" {
+		t.Fatalf("top op = %q", bin.Op)
+	}
+	if inner, ok := bin.Y.(*BinExpr); !ok || inner.Op != "*" {
+		t.Errorf("rhs = %#v", bin.Y)
+	}
+}
+
+func TestParseCompoundAssign(t *testing.T) {
+	prog, err := Parse("int main() { int x = 1; x += 2; x++; return x; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Funcs[0].Body.Stmts
+	if _, ok := body[1].(*AssignStmt); !ok {
+		t.Errorf("x += 2 lowered to %T", body[1])
+	}
+	if _, ok := body[2].(*AssignStmt); !ok {
+		t.Errorf("x++ lowered to %T", body[2])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"int main( { }",
+		"int main() { if x { } }",
+		"int main() { return 1 }",
+		"int a[];",
+		"float main() {}",
+		"int main() { x ==; }",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestTypeSizes(t *testing.T) {
+	if IntType.Size() != 8 || CharType.Size() != 1 {
+		t.Error("scalar sizes wrong")
+	}
+	if PtrTo(CharType).Size() != 8 {
+		t.Error("pointer size wrong")
+	}
+	if ArrayOf(IntType, 10).Size() != 80 {
+		t.Error("array size wrong")
+	}
+	if !PtrTo(IntType).IsScalar() || ArrayOf(IntType, 2).IsScalar() {
+		t.Error("IsScalar wrong")
+	}
+	if PtrTo(CharType).String() != "char*" {
+		t.Errorf("type string = %q", PtrTo(CharType))
+	}
+}
+
+func TestSizeofParses(t *testing.T) {
+	prog, err := Parse("int main() { return sizeof(int*); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := prog.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	if lit, ok := ret.Val.(*IntLit); !ok || lit.Val != 8 {
+		t.Errorf("sizeof = %#v", ret.Val)
+	}
+}

@@ -1,0 +1,558 @@
+package minic
+
+import "fmt"
+
+// Parse lexes and parses a MiniC translation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseProgram()
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+// next consumes and returns the current token; the trailing EOF token is
+// sticky so error paths can keep reporting it without running off the end.
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+func (p *parser) line() int { return p.peek().Line }
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Line: p.line(), Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) isPunct(s string) bool {
+	t := p.peek()
+	return t.Kind == TokPunct && t.Str == s
+}
+
+func (p *parser) isKeyword(s string) bool {
+	t := p.peek()
+	return t.Kind == TokKeyword && t.Str == s
+}
+
+func (p *parser) accept(s string) bool {
+	if p.isPunct(s) || p.isKeyword(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(s string) error {
+	if p.accept(s) {
+		return nil
+	}
+	return p.errf("expected %q, found %q", s, p.peek())
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for p.peek().Kind != TokEOF {
+		base, err := p.parseBaseType()
+		if err != nil {
+			return nil, err
+		}
+		typ, name, err := p.parseDeclarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if p.isPunct("(") {
+			fn, err := p.parseFuncRest(typ, name)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			continue
+		}
+		g, err := p.parseGlobalRest(typ, name)
+		if err != nil {
+			return nil, err
+		}
+		prog.Globals = append(prog.Globals, g)
+	}
+	return prog, nil
+}
+
+// parseBaseType parses int/char/void.
+func (p *parser) parseBaseType() (*Type, error) {
+	switch {
+	case p.accept("int"):
+		return IntType, nil
+	case p.accept("char"):
+		return CharType, nil
+	case p.accept("void"):
+		return VoidType, nil
+	}
+	return nil, p.errf("expected type, found %q", p.peek())
+}
+
+// parseDeclarator parses pointer stars, the name, and array suffixes.
+func (p *parser) parseDeclarator(base *Type) (*Type, string, error) {
+	typ := base
+	for p.accept("*") {
+		typ = PtrTo(typ)
+	}
+	t := p.next()
+	if t.Kind != TokIdent {
+		return nil, "", p.errf("expected identifier, found %q", t)
+	}
+	name := t.Str
+	// Array suffixes ([N] or [] for string-initialized globals).
+	for p.accept("[") {
+		if p.accept("]") {
+			typ = ArrayOf(typ, -1) // length from initializer
+			continue
+		}
+		sz := p.next()
+		if sz.Kind != TokInt {
+			return nil, "", p.errf("expected array length")
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, "", err
+		}
+		typ = ArrayOf(typ, int(sz.Int))
+	}
+	return typ, name, nil
+}
+
+func (p *parser) parseGlobalRest(typ *Type, name string) (*Global, error) {
+	g := &Global{Name: name, Type: typ, Line: p.line()}
+	if p.accept("=") {
+		switch {
+		case p.isPunct("{"):
+			p.next()
+			for !p.isPunct("}") {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				g.ArrayInit = append(g.ArrayInit, e)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect("}"); err != nil {
+				return nil, err
+			}
+			if typ.Kind == TypeArray && typ.Len == -1 {
+				typ.Len = len(g.ArrayInit)
+			}
+		case p.peek().Kind == TokString:
+			t := p.next()
+			g.StrInit, g.HasStr = t.Str, true
+			if typ.Kind == TypeArray && typ.Len == -1 {
+				typ.Len = len(t.Str) + 1
+			}
+		default:
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			g.Init = e
+		}
+	}
+	if typ.Kind == TypeArray && typ.Len == -1 {
+		return nil, p.errf("array %q needs a length or initializer", name)
+	}
+	return g, p.expect(";")
+}
+
+func (p *parser) parseFuncRest(ret *Type, name string) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: name, Ret: ret, Line: p.line()}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if p.accept("void") && p.isPunct(")") {
+		// f(void)
+	} else {
+		for !p.isPunct(")") {
+			base, err := p.parseBaseType()
+			if err != nil {
+				return nil, err
+			}
+			typ, pname, err := p.parseDeclarator(base)
+			if err != nil {
+				return nil, err
+			}
+			if typ.Kind == TypeArray {
+				typ = PtrTo(typ.Elem) // arrays decay in parameters
+			}
+			fn.Params = append(fn.Params, Param{Name: pname, Type: typ})
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) parseBlock() (*BlockStmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{}
+	for !p.isPunct("}") {
+		if p.peek().Kind == TokEOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	p.next()
+	return blk, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.isPunct("{"):
+		return p.parseBlock()
+	case p.isKeyword("int") || p.isKeyword("char"):
+		return p.parseDeclStmt()
+	case p.accept("if"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then}
+		if p.accept("else") {
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+	case p.accept("while"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case p.accept("for"):
+		return p.parseFor()
+	case p.accept("return"):
+		st := &ReturnStmt{Line: p.line()}
+		if !p.isPunct(";") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Val = e
+		}
+		return st, p.expect(";")
+	case p.accept("break"):
+		return &BreakStmt{Line: p.line()}, p.expect(";")
+	case p.accept("continue"):
+		return &ContinueStmt{Line: p.line()}, p.expect(";")
+	case p.accept(";"):
+		return &BlockStmt{}, nil
+	default:
+		return p.parseSimpleStmt()
+	}
+}
+
+func (p *parser) parseDeclStmt() (Stmt, error) {
+	base, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	typ, name, err := p.parseDeclarator(base)
+	if err != nil {
+		return nil, err
+	}
+	st := &DeclStmt{Name: name, Type: typ, Line: p.line()}
+	if p.accept("=") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Init = e
+	}
+	return st, p.expect(";")
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{}
+	if !p.isPunct(";") {
+		if p.isKeyword("int") || p.isKeyword("char") {
+			init, err := p.parseDeclStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = init
+		} else {
+			init, err := p.parseSimpleNoSemi()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = init
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.next()
+	}
+	if !p.isPunct(";") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = cond
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if !p.isPunct(")") {
+		post, err := p.parseSimpleNoSemi()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = post
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+// parseSimpleStmt parses an assignment or expression statement ending in ';'.
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	st, err := p.parseSimpleNoSemi()
+	if err != nil {
+		return nil, err
+	}
+	return st, p.expect(";")
+}
+
+// parseSimpleNoSemi parses assignment forms (=, op=, ++, --) or a bare
+// expression, without the trailing semicolon.
+func (p *parser) parseSimpleNoSemi() (Stmt, error) {
+	line := p.line()
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.Kind == TokPunct {
+		switch t.Str {
+		case "=":
+			p.next()
+			rhs, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{LHS: lhs, RHS: rhs, Line: line}, nil
+		case "+=", "-=", "*=", "/=", "%=":
+			p.next()
+			rhs, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			op := t.Str[:1]
+			return &AssignStmt{LHS: lhs, RHS: &BinExpr{Op: op, X: lhs, Y: rhs, Line: line}, Line: line}, nil
+		case "++", "--":
+			p.next()
+			op := t.Str[:1]
+			one := &IntLit{Val: 1, Line: line}
+			return &AssignStmt{LHS: lhs, RHS: &BinExpr{Op: op, X: lhs, Y: one, Line: line}, Line: line}, nil
+		}
+	}
+	return &ExprStmt{X: lhs}, nil
+}
+
+// Operator precedence (loosest first).
+var _precedence = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBin(0) }
+
+func (p *parser) parseBin(level int) (Expr, error) {
+	if level >= len(_precedence) {
+		return p.parseUnary()
+	}
+	lhs, err := p.parseBin(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokPunct || !stringIn(t.Str, _precedence[level]) {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseBin(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{Op: t.Str, X: lhs, Y: rhs, Line: t.Line}
+	}
+}
+
+func stringIn(s string, set []string) bool {
+	for _, x := range set {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.Kind == TokPunct {
+		switch t.Str {
+		case "-", "!", "~", "*", "&":
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &UnExpr{Op: t.Str, X: x, Line: t.Line}, nil
+		case "+":
+			p.next()
+			return p.parseUnary()
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("["):
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{X: x, Index: idx, Line: p.line()}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch t.Kind {
+	case TokInt, TokChar:
+		return &IntLit{Val: t.Int, Line: t.Line}, nil
+	case TokString:
+		return &StrLit{Val: t.Str, Line: t.Line}, nil
+	case TokIdent:
+		if p.isPunct("(") {
+			p.next()
+			call := &CallExpr{Name: t.Str, Line: t.Line}
+			for !p.isPunct(")") {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if !p.accept(",") {
+					break
+				}
+			}
+			return call, p.expect(")")
+		}
+		return &Ident{Name: t.Str, Line: t.Line}, nil
+	case TokPunct:
+		if t.Str == "(" {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return e, p.expect(")")
+		}
+	case TokKeyword:
+		if t.Str == "sizeof" {
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			base, err := p.parseBaseType()
+			if err != nil {
+				return nil, err
+			}
+			typ := base
+			for p.accept("*") {
+				typ = PtrTo(typ)
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &IntLit{Val: int64(typ.Size()), Line: t.Line}, nil
+		}
+	}
+	p.pos--
+	return nil, p.errf("unexpected token %q", t)
+}

@@ -1,0 +1,232 @@
+// Package minic implements the front-end (lexer, parser, AST) for MiniC,
+// the C subset the benchmark corpus is written in. It plays the role of the
+// C language in the original study: programs the obfuscators transform and
+// the code generator compiles to x86-64.
+//
+// The subset: 64-bit int, 8-bit char, pointers, fixed-size arrays, global
+// and local variables, functions, if/else, while, for, break/continue,
+// return, the usual expression operators, and a tiny builtin runtime
+// (print_int, print_char, print_str, exit).
+package minic
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokChar
+	TokString
+	TokPunct
+	TokKeyword
+)
+
+// Token is one lexed token.
+type Token struct {
+	Kind TokKind
+	Str  string // identifier, punctuation or keyword text; string literal value
+	Int  int64  // integer or char literal value
+	Line int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "EOF"
+	case TokInt, TokChar:
+		return fmt.Sprintf("%d", t.Int)
+	case TokString:
+		return fmt.Sprintf("%q", t.Str)
+	default:
+		return t.Str
+	}
+}
+
+var _keywords = map[string]bool{
+	"int": true, "char": true, "void": true, "if": true, "else": true,
+	"while": true, "for": true, "return": true, "break": true,
+	"continue": true, "sizeof": true,
+}
+
+// SyntaxError is a lexing or parsing failure.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("minic: line %d: %s", e.Line, e.Msg)
+}
+
+// Lex tokenizes MiniC source.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			i += 2
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= len(src) {
+				return nil, &SyntaxError{Line: line, Msg: "unterminated comment"}
+			}
+			i += 2
+		case isDigit(c):
+			start := i
+			base := int64(10)
+			if c == '0' && i+1 < len(src) && (src[i+1] == 'x' || src[i+1] == 'X') {
+				base = 16
+				i += 2
+				start = i
+			}
+			var v int64
+			for i < len(src) && isHexDigit(src[i]) {
+				d := hexVal(src[i])
+				if base == 10 && d > 9 {
+					break
+				}
+				v = v*base + int64(d)
+				i++
+			}
+			_ = start
+			toks = append(toks, Token{Kind: TokInt, Int: v, Line: line})
+		case isAlpha(c):
+			start := i
+			for i < len(src) && (isAlpha(src[i]) || isDigit(src[i])) {
+				i++
+			}
+			word := src[start:i]
+			kind := TokIdent
+			if _keywords[word] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Str: word, Line: line})
+		case c == '\'':
+			v, n, err := unescapeChar(src[i+1:], line)
+			if err != nil {
+				return nil, err
+			}
+			i += 1 + n
+			if i >= len(src) || src[i] != '\'' {
+				return nil, &SyntaxError{Line: line, Msg: "unterminated char literal"}
+			}
+			i++
+			toks = append(toks, Token{Kind: TokChar, Int: int64(v), Line: line})
+		case c == '"':
+			i++
+			var val []byte
+			for i < len(src) && src[i] != '"' {
+				if src[i] == '\\' {
+					v, n, err := unescapeChar(src[i:], line)
+					if err != nil {
+						return nil, err
+					}
+					val = append(val, v)
+					i += n
+					continue
+				}
+				if src[i] == '\n' {
+					return nil, &SyntaxError{Line: line, Msg: "newline in string literal"}
+				}
+				val = append(val, src[i])
+				i++
+			}
+			if i >= len(src) {
+				return nil, &SyntaxError{Line: line, Msg: "unterminated string literal"}
+			}
+			i++
+			toks = append(toks, Token{Kind: TokString, Str: string(val), Line: line})
+		default:
+			// Multi-character punctuation first.
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=", "%=", "++", "--":
+				toks = append(toks, Token{Kind: TokPunct, Str: two, Line: line})
+				i += 2
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '&', '|', '^', '~', '!', '<', '>', '=',
+				'(', ')', '{', '}', '[', ']', ';', ',':
+				toks = append(toks, Token{Kind: TokPunct, Str: string(c), Line: line})
+				i++
+			default:
+				return nil, &SyntaxError{Line: line, Msg: fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line})
+	return toks, nil
+}
+
+// unescapeChar parses one (possibly escaped) character, returning its value
+// and the number of source bytes consumed.
+func unescapeChar(s string, line int) (byte, int, error) {
+	if len(s) == 0 {
+		return 0, 0, &SyntaxError{Line: line, Msg: "unterminated literal"}
+	}
+	if s[0] != '\\' {
+		return s[0], 1, nil
+	}
+	if len(s) < 2 {
+		return 0, 0, &SyntaxError{Line: line, Msg: "unterminated escape"}
+	}
+	switch s[1] {
+	case 'n':
+		return '\n', 2, nil
+	case 't':
+		return '\t', 2, nil
+	case 'r':
+		return '\r', 2, nil
+	case '0':
+		return 0, 2, nil
+	case '\\':
+		return '\\', 2, nil
+	case '\'':
+		return '\'', 2, nil
+	case '"':
+		return '"', 2, nil
+	}
+	return 0, 0, &SyntaxError{Line: line, Msg: fmt.Sprintf("unknown escape \\%c", s[1])}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+func isHexDigit(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+func hexVal(c byte) int {
+	switch {
+	case c <= '9':
+		return int(c - '0')
+	case c >= 'a':
+		return int(c-'a') + 10
+	default:
+		return int(c-'A') + 10
+	}
+}

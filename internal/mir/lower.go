@@ -1,0 +1,722 @@
+package mir
+
+import (
+	"fmt"
+
+	"github.com/nofreelunch/gadget-planner/internal/minic"
+)
+
+// TypeError is a semantic error found during lowering.
+type TypeError struct {
+	Line int
+	Msg  string
+}
+
+func (e *TypeError) Error() string {
+	return fmt.Sprintf("minic: line %d: %s", e.Line, e.Msg)
+}
+
+func terr(line int, format string, args ...any) error {
+	return &TypeError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Builtins are the primitive operations the code generator provides as
+// assembly stubs. __syscall mirrors the shape of libc's generic syscall()
+// wrapper (argument-register shuffle followed by the syscall instruction).
+// Everything else (print_int, print_str, ...) is ordinary MiniC in the
+// runtime prelude, and is therefore obfuscated along with user code, exactly
+// as a source-to-source obfuscator would.
+var Builtins = map[string]struct {
+	Args   int
+	HasRet bool
+}{
+	"__syscall": {4, true}, // __syscall(nr, a, b, c) -> return value
+}
+
+// Lower type-checks and translates a parsed program into a MIR module.
+func Lower(prog *minic.Program) (*Module, error) {
+	lw := &lowerer{
+		mod:     &Module{},
+		globals: make(map[string]*minic.Type),
+		funcs:   make(map[string]*minic.FuncDecl),
+		strs:    make(map[string]string),
+	}
+	for _, g := range prog.Globals {
+		if err := lw.lowerGlobal(g); err != nil {
+			return nil, err
+		}
+	}
+	for _, fn := range prog.Funcs {
+		if _, dup := lw.funcs[fn.Name]; dup {
+			return nil, terr(fn.Line, "duplicate function %q", fn.Name)
+		}
+		lw.funcs[fn.Name] = fn
+	}
+	for _, fn := range prog.Funcs {
+		if err := lw.lowerFunc(fn); err != nil {
+			return nil, err
+		}
+	}
+	if lw.mod.Func("main") == nil {
+		return nil, terr(0, "no main function")
+	}
+	return lw.mod, nil
+}
+
+type lowerer struct {
+	mod     *Module
+	globals map[string]*minic.Type
+	funcs   map[string]*minic.FuncDecl
+	strs    map[string]string // string literal -> global name
+
+	// Per-function state.
+	f      *Func
+	fn     *minic.FuncDecl
+	cur    *Block
+	scopes []map[string]localVar
+	breaks []int // target block IDs
+	conts  []int
+}
+
+type localVar struct {
+	idx int
+	typ *minic.Type
+}
+
+func (lw *lowerer) lowerGlobal(g *minic.Global) error {
+	if _, dup := lw.globals[g.Name]; dup {
+		return terr(g.Line, "duplicate global %q", g.Name)
+	}
+	size := g.Type.Size()
+	data := GlobalData{Name: g.Name, Size: size}
+	switch {
+	case g.HasStr:
+		if g.Type.Kind != minic.TypeArray || g.Type.Elem.Kind != minic.TypeChar {
+			return terr(g.Line, "string initializer on non-char-array %q", g.Name)
+		}
+		data.Init = append([]byte(g.StrInit), 0)
+	case g.ArrayInit != nil:
+		if g.Type.Kind != minic.TypeArray {
+			return terr(g.Line, "brace initializer on non-array %q", g.Name)
+		}
+		es := g.Type.Elem.Size()
+		for i, e := range g.ArrayInit {
+			v, err := constEval(e)
+			if err != nil {
+				return err
+			}
+			for b := 0; b < es; b++ {
+				data.Init = append(data.Init, byte(uint64(v)>>(8*b)))
+			}
+			_ = i
+		}
+	case g.Init != nil:
+		v, err := constEval(g.Init)
+		if err != nil {
+			return err
+		}
+		for b := 0; b < size; b++ {
+			data.Init = append(data.Init, byte(uint64(v)>>(8*b)))
+		}
+	}
+	if len(data.Init) > size {
+		return terr(g.Line, "initializer for %q exceeds its size", g.Name)
+	}
+	lw.globals[g.Name] = g.Type
+	lw.mod.Globals = append(lw.mod.Globals, data)
+	return nil
+}
+
+// constEval evaluates compile-time constant expressions for initializers.
+func constEval(e minic.Expr) (int64, error) {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		return x.Val, nil
+	case *minic.UnExpr:
+		v, err := constEval(x.X)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case "-":
+			return -v, nil
+		case "~":
+			return ^v, nil
+		}
+	case *minic.BinExpr:
+		a, err := constEval(x.X)
+		if err != nil {
+			return 0, err
+		}
+		b, err := constEval(x.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case "+":
+			return a + b, nil
+		case "-":
+			return a - b, nil
+		case "*":
+			return a * b, nil
+		case "<<":
+			return a << uint(b&63), nil
+		case "|":
+			return a | b, nil
+		}
+	}
+	return 0, terr(0, "initializer is not a constant expression")
+}
+
+func (lw *lowerer) internString(s string) string {
+	if name, ok := lw.strs[s]; ok {
+		return name
+	}
+	name := fmt.Sprintf("str_%d", len(lw.strs))
+	lw.strs[s] = name
+	lw.mod.Globals = append(lw.mod.Globals, GlobalData{
+		Name: name, Size: len(s) + 1, Init: append([]byte(s), 0),
+	})
+	return name
+}
+
+func (lw *lowerer) lowerFunc(fn *minic.FuncDecl) error {
+	lw.f = &Func{Name: fn.Name, NumParam: len(fn.Params), HasRet: fn.Ret.Kind != minic.TypeVoid}
+	lw.fn = fn
+	lw.scopes = []map[string]localVar{{}}
+	lw.breaks, lw.conts = nil, nil
+	if len(fn.Params) > 6 {
+		return terr(fn.Line, "more than 6 parameters in %q", fn.Name)
+	}
+	// Convention: locals[0..NumParam-1] hold the parameters; the code
+	// generator's prologue spills the argument registers into them.
+	for _, p := range fn.Params {
+		idx := lw.f.AddLocal(p.Name, 8)
+		lw.scopes[0][p.Name] = localVar{idx: idx, typ: p.Type}
+	}
+	lw.cur = lw.f.NewBlock()
+	if err := lw.stmt(fn.Body); err != nil {
+		return err
+	}
+	// Implicit return.
+	if lw.cur.Term.Kind == 0 {
+		if lw.f.HasRet {
+			zero := lw.emitConst(0)
+			lw.cur.Term = Term{Kind: TermRet, Val: zero, HasVal: true}
+		} else {
+			lw.cur.Term = Term{Kind: TermRet}
+		}
+	}
+	if err := Verify(lw.f); err != nil {
+		return err
+	}
+	lw.mod.Funcs = append(lw.mod.Funcs, lw.f)
+	return nil
+}
+
+func (lw *lowerer) pushScope() { lw.scopes = append(lw.scopes, map[string]localVar{}) }
+func (lw *lowerer) popScope()  { lw.scopes = lw.scopes[:len(lw.scopes)-1] }
+
+func (lw *lowerer) lookup(name string) (localVar, bool) {
+	for i := len(lw.scopes) - 1; i >= 0; i-- {
+		if v, ok := lw.scopes[i][name]; ok {
+			return v, true
+		}
+	}
+	return localVar{}, false
+}
+
+func (lw *lowerer) emit(i Instr) { lw.cur.Instrs = append(lw.cur.Instrs, i) }
+
+func (lw *lowerer) emitConst(v int64) VReg {
+	d := lw.f.NewVReg()
+	lw.emit(Instr{Kind: InstConst, Dst: d, Val: v})
+	return d
+}
+
+func (lw *lowerer) emitBin(op BinOp, a, b VReg) VReg {
+	d := lw.f.NewVReg()
+	lw.emit(Instr{Kind: InstBin, Dst: d, Op: op, A: a, B: b})
+	return d
+}
+
+// setTerm terminates the current block if not already terminated.
+func (lw *lowerer) setTerm(t Term) {
+	if lw.cur.Term.Kind == 0 {
+		lw.cur.Term = t
+	}
+}
+
+// startBlock begins a new current block.
+func (lw *lowerer) startBlock() *Block {
+	b := lw.f.NewBlock()
+	lw.cur = b
+	return b
+}
+
+func accessSize(t *minic.Type) uint8 {
+	if t.Kind == minic.TypeChar {
+		return 1
+	}
+	return 8
+}
+
+func (lw *lowerer) stmt(s minic.Stmt) error {
+	switch st := s.(type) {
+	case *minic.BlockStmt:
+		lw.pushScope()
+		defer lw.popScope()
+		for _, inner := range st.Stmts {
+			if err := lw.stmt(inner); err != nil {
+				return err
+			}
+			if lw.cur.Term.Kind != 0 {
+				// Unreachable code after return/break: start a fresh block
+				// so remaining statements stay well-formed.
+				dead := lw.startBlock()
+				_ = dead
+			}
+		}
+		return nil
+
+	case *minic.DeclStmt:
+		idx := lw.f.AddLocal(st.Name, st.Type.Size())
+		lw.scopes[len(lw.scopes)-1][st.Name] = localVar{idx: idx, typ: st.Type}
+		if st.Init != nil {
+			if !st.Type.IsScalar() {
+				return terr(st.Line, "initializer on non-scalar local %q", st.Name)
+			}
+			v, _, err := lw.expr(st.Init)
+			if err != nil {
+				return err
+			}
+			addr := lw.f.NewVReg()
+			lw.emit(Instr{Kind: InstAddrLocal, Dst: addr, Local: idx})
+			lw.emit(Instr{Kind: InstStore, A: addr, B: v, Size: accessSize(st.Type)})
+		}
+		return nil
+
+	case *minic.ExprStmt:
+		_, _, err := lw.expr(st.X)
+		return err
+
+	case *minic.AssignStmt:
+		addr, typ, err := lw.lvalue(st.LHS)
+		if err != nil {
+			return err
+		}
+		if !typ.IsScalar() {
+			return terr(st.Line, "assignment to non-scalar")
+		}
+		v, _, err := lw.expr(st.RHS)
+		if err != nil {
+			return err
+		}
+		lw.emit(Instr{Kind: InstStore, A: addr, B: v, Size: accessSize(typ)})
+		return nil
+
+	case *minic.IfStmt:
+		cond, _, err := lw.expr(st.Cond)
+		if err != nil {
+			return err
+		}
+		condBlk := lw.cur
+		thenBlk := lw.startBlock()
+		if err := lw.stmt(st.Then); err != nil {
+			return err
+		}
+		thenEnd := lw.cur
+		var elseBlk, elseEnd *Block
+		if st.Else != nil {
+			elseBlk = lw.startBlock()
+			if err := lw.stmt(st.Else); err != nil {
+				return err
+			}
+			elseEnd = lw.cur
+		}
+		join := lw.startBlock()
+		condBlk.Term = Term{Kind: TermCondBr, Cond: cond, Target: thenBlk.ID, Else: join.ID}
+		if elseBlk != nil {
+			condBlk.Term.Else = elseBlk.ID
+			if elseEnd.Term.Kind == 0 {
+				elseEnd.Term = Term{Kind: TermBr, Target: join.ID}
+			}
+		}
+		if thenEnd.Term.Kind == 0 {
+			thenEnd.Term = Term{Kind: TermBr, Target: join.ID}
+		}
+		return nil
+
+	case *minic.WhileStmt:
+		header := lw.f.NewBlock()
+		lw.setTerm(Term{Kind: TermBr, Target: header.ID})
+		lw.cur = header
+		cond, _, err := lw.expr(st.Cond)
+		if err != nil {
+			return err
+		}
+		headEnd := lw.cur
+		body := lw.startBlock()
+		exitID, err := lw.loopBody(st.Body, header.ID)
+		if err != nil {
+			return err
+		}
+		headEnd.Term = Term{Kind: TermCondBr, Cond: cond, Target: body.ID, Else: exitID}
+		return nil
+
+	case *minic.ForStmt:
+		if st.Init != nil {
+			lw.pushScope()
+			defer lw.popScope()
+			if err := lw.stmt(st.Init); err != nil {
+				return err
+			}
+		}
+		header := lw.f.NewBlock()
+		lw.setTerm(Term{Kind: TermBr, Target: header.ID})
+		lw.cur = header
+		var cond VReg
+		hasCond := st.Cond != nil
+		if hasCond {
+			c, _, err := lw.expr(st.Cond)
+			if err != nil {
+				return err
+			}
+			cond = c
+		}
+		headEnd := lw.cur
+
+		// Post block (continue target).
+		post := lw.f.NewBlock()
+		lw.cur = post
+		if st.Post != nil {
+			if err := lw.stmt(st.Post); err != nil {
+				return err
+			}
+		}
+		lw.setTerm(Term{Kind: TermBr, Target: header.ID})
+
+		body := lw.startBlock()
+		exitID, err := lw.loopBody(st.Body, post.ID)
+		if err != nil {
+			return err
+		}
+		if hasCond {
+			headEnd.Term = Term{Kind: TermCondBr, Cond: cond, Target: body.ID, Else: exitID}
+		} else {
+			headEnd.Term = Term{Kind: TermBr, Target: body.ID}
+		}
+		return nil
+
+	case *minic.ReturnStmt:
+		if st.Val != nil {
+			v, _, err := lw.expr(st.Val)
+			if err != nil {
+				return err
+			}
+			lw.setTerm(Term{Kind: TermRet, Val: v, HasVal: true})
+		} else {
+			if lw.f.HasRet {
+				return terr(st.Line, "return without value in %q", lw.f.Name)
+			}
+			lw.setTerm(Term{Kind: TermRet})
+		}
+		return nil
+
+	case *minic.BreakStmt:
+		if len(lw.breaks) == 0 {
+			return terr(st.Line, "break outside loop")
+		}
+		lw.setTerm(Term{Kind: TermBr, Target: lw.breaks[len(lw.breaks)-1]})
+		return nil
+
+	case *minic.ContinueStmt:
+		if len(lw.conts) == 0 {
+			return terr(st.Line, "continue outside loop")
+		}
+		lw.setTerm(Term{Kind: TermBr, Target: lw.conts[len(lw.conts)-1]})
+		return nil
+	}
+	return terr(0, "unknown statement %T", s)
+}
+
+// loopBody lowers a loop body with break/continue context. The continue
+// target is contID; a fresh exit block becomes current afterwards. Returns
+// the exit block's ID.
+func (lw *lowerer) loopBody(body minic.Stmt, contID int) (int, error) {
+	exit := lw.f.NewBlock()
+	lw.breaks = append(lw.breaks, exit.ID)
+	lw.conts = append(lw.conts, contID)
+	err := lw.stmt(body)
+	lw.breaks = lw.breaks[:len(lw.breaks)-1]
+	lw.conts = lw.conts[:len(lw.conts)-1]
+	if err != nil {
+		return 0, err
+	}
+	lw.setTerm(Term{Kind: TermBr, Target: contID})
+	lw.cur = exit
+	return exit.ID, nil
+}
+
+// lvalue lowers an expression to (address vreg, object type).
+func (lw *lowerer) lvalue(e minic.Expr) (VReg, *minic.Type, error) {
+	switch x := e.(type) {
+	case *minic.Ident:
+		if v, ok := lw.lookup(x.Name); ok {
+			d := lw.f.NewVReg()
+			lw.emit(Instr{Kind: InstAddrLocal, Dst: d, Local: v.idx})
+			return d, v.typ, nil
+		}
+		if t, ok := lw.globals[x.Name]; ok {
+			d := lw.f.NewVReg()
+			lw.emit(Instr{Kind: InstAddrGlobal, Dst: d, Name: x.Name})
+			return d, t, nil
+		}
+		return 0, nil, terr(x.Line, "undefined variable %q", x.Name)
+
+	case *minic.UnExpr:
+		if x.Op == "*" {
+			v, t, err := lw.expr(x.X)
+			if err != nil {
+				return 0, nil, err
+			}
+			if t.Kind != minic.TypePtr {
+				return 0, nil, terr(x.Line, "dereference of non-pointer %s", t)
+			}
+			return v, t.Elem, nil
+		}
+
+	case *minic.IndexExpr:
+		base, t, err := lw.expr(x.X)
+		if err != nil {
+			return 0, nil, err
+		}
+		if t.Kind != minic.TypePtr {
+			return 0, nil, terr(x.Line, "index of non-pointer %s", t)
+		}
+		idx, _, err := lw.expr(x.Index)
+		if err != nil {
+			return 0, nil, err
+		}
+		scaled := idx
+		if es := t.Elem.Size(); es != 1 {
+			c := lw.emitConst(int64(es))
+			scaled = lw.emitBin(OpMul, idx, c)
+		}
+		return lw.emitBin(OpAdd, base, scaled), t.Elem, nil
+	}
+	return 0, nil, terr(0, "expression is not an lvalue")
+}
+
+// expr lowers an expression to (value vreg, type). Array-typed expressions
+// decay to element pointers.
+func (lw *lowerer) expr(e minic.Expr) (VReg, *minic.Type, error) {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		return lw.emitConst(x.Val), minic.IntType, nil
+
+	case *minic.StrLit:
+		name := lw.internString(x.Val)
+		d := lw.f.NewVReg()
+		lw.emit(Instr{Kind: InstAddrGlobal, Dst: d, Name: name})
+		return d, minic.PtrTo(minic.CharType), nil
+
+	case *minic.Ident, *minic.IndexExpr:
+		addr, t, err := lw.lvalue(e)
+		if err != nil {
+			return 0, nil, err
+		}
+		return lw.loadOrDecay(addr, t)
+
+	case *minic.UnExpr:
+		switch x.Op {
+		case "&":
+			addr, t, err := lw.lvalue(x.X)
+			if err != nil {
+				return 0, nil, err
+			}
+			if t.Kind == minic.TypeArray {
+				return addr, minic.PtrTo(t.Elem), nil
+			}
+			return addr, minic.PtrTo(t), nil
+		case "*":
+			addr, t, err := lw.lvalue(x)
+			if err != nil {
+				return 0, nil, err
+			}
+			return lw.loadOrDecay(addr, t)
+		case "-":
+			v, _, err := lw.expr(x.X)
+			if err != nil {
+				return 0, nil, err
+			}
+			d := lw.f.NewVReg()
+			lw.emit(Instr{Kind: InstNeg, Dst: d, A: v})
+			return d, minic.IntType, nil
+		case "~":
+			v, _, err := lw.expr(x.X)
+			if err != nil {
+				return 0, nil, err
+			}
+			d := lw.f.NewVReg()
+			lw.emit(Instr{Kind: InstNot, Dst: d, A: v})
+			return d, minic.IntType, nil
+		case "!":
+			v, _, err := lw.expr(x.X)
+			if err != nil {
+				return 0, nil, err
+			}
+			zero := lw.emitConst(0)
+			return lw.emitBin(OpEQ, v, zero), minic.IntType, nil
+		}
+		return 0, nil, terr(x.Line, "unknown unary %q", x.Op)
+
+	case *minic.BinExpr:
+		return lw.binExpr(x)
+
+	case *minic.CallExpr:
+		return lw.call(x)
+	}
+	return 0, nil, terr(0, "unknown expression %T", e)
+}
+
+// loadOrDecay loads a scalar or decays an array to a pointer.
+func (lw *lowerer) loadOrDecay(addr VReg, t *minic.Type) (VReg, *minic.Type, error) {
+	if t.Kind == minic.TypeArray {
+		return addr, minic.PtrTo(t.Elem), nil
+	}
+	d := lw.f.NewVReg()
+	lw.emit(Instr{Kind: InstLoad, Dst: d, A: addr, Size: accessSize(t)})
+	return d, t, nil
+}
+
+var _binOps = map[string]BinOp{
+	"+": OpAdd, "-": OpSub, "*": OpMul, "/": OpDiv, "%": OpMod,
+	"&": OpAnd, "|": OpOr, "^": OpXor, "<<": OpShl, ">>": OpShr,
+	"<": OpLT, "<=": OpLE, ">": OpGT, ">=": OpGE, "==": OpEQ, "!=": OpNE,
+}
+
+func (lw *lowerer) binExpr(x *minic.BinExpr) (VReg, *minic.Type, error) {
+	// Short-circuit operators route through a temporary local (virtual
+	// registers must not cross blocks).
+	if x.Op == "&&" || x.Op == "||" {
+		return lw.shortCircuit(x)
+	}
+
+	a, ta, err := lw.expr(x.X)
+	if err != nil {
+		return 0, nil, err
+	}
+	b, tb, err := lw.expr(x.Y)
+	if err != nil {
+		return 0, nil, err
+	}
+	op, ok := _binOps[x.Op]
+	if !ok {
+		return 0, nil, terr(x.Line, "unknown operator %q", x.Op)
+	}
+
+	// Pointer arithmetic scales by element size.
+	if ta.Kind == minic.TypePtr && tb.Kind != minic.TypePtr && (op == OpAdd || op == OpSub) {
+		if es := ta.Elem.Size(); es != 1 {
+			c := lw.emitConst(int64(es))
+			b = lw.emitBin(OpMul, b, c)
+		}
+		return lw.emitBin(op, a, b), ta, nil
+	}
+	if ta.Kind == minic.TypePtr && tb.Kind == minic.TypePtr && op == OpSub {
+		diff := lw.emitBin(OpSub, a, b)
+		if es := ta.Elem.Size(); es != 1 {
+			c := lw.emitConst(int64(es))
+			diff = lw.emitBin(OpDiv, diff, c)
+		}
+		return diff, minic.IntType, nil
+	}
+	return lw.emitBin(op, a, b), minic.IntType, nil
+}
+
+func (lw *lowerer) shortCircuit(x *minic.BinExpr) (VReg, *minic.Type, error) {
+	tmp := lw.f.AddLocal("", 8)
+	storeTmp := func(v VReg) {
+		addr := lw.f.NewVReg()
+		lw.emit(Instr{Kind: InstAddrLocal, Dst: addr, Local: tmp})
+		lw.emit(Instr{Kind: InstStore, A: addr, B: v, Size: 8})
+	}
+	normalize := func(v VReg) VReg {
+		zero := lw.emitConst(0)
+		return lw.emitBin(OpNE, v, zero)
+	}
+
+	a, _, err := lw.expr(x.X)
+	if err != nil {
+		return 0, nil, err
+	}
+	storeTmp(normalize(a))
+	firstEnd := lw.cur
+
+	second := lw.startBlock()
+	b, _, err := lw.expr(x.Y)
+	if err != nil {
+		return 0, nil, err
+	}
+	storeTmp(normalize(b))
+	secondEnd := lw.cur
+
+	join := lw.startBlock()
+	if x.Op == "&&" {
+		// Evaluate Y only if X was true.
+		firstEnd.Term = Term{Kind: TermCondBr, Cond: a, Target: second.ID, Else: join.ID}
+	} else {
+		firstEnd.Term = Term{Kind: TermCondBr, Cond: a, Target: join.ID, Else: second.ID}
+	}
+	if secondEnd.Term.Kind == 0 {
+		secondEnd.Term = Term{Kind: TermBr, Target: join.ID}
+	}
+	addr := lw.f.NewVReg()
+	lw.emit(Instr{Kind: InstAddrLocal, Dst: addr, Local: tmp})
+	d := lw.f.NewVReg()
+	lw.emit(Instr{Kind: InstLoad, Dst: d, A: addr, Size: 8})
+	return d, minic.IntType, nil
+}
+
+func (lw *lowerer) call(x *minic.CallExpr) (VReg, *minic.Type, error) {
+	var args []VReg
+	for _, a := range x.Args {
+		v, _, err := lw.expr(a)
+		if err != nil {
+			return 0, nil, err
+		}
+		args = append(args, v)
+	}
+
+	if bi, ok := Builtins[x.Name]; ok {
+		if len(args) != bi.Args {
+			return 0, nil, terr(x.Line, "%s expects %d arguments, got %d", x.Name, bi.Args, len(args))
+		}
+		ins := Instr{Kind: InstCall, Name: x.Name, Args: args, HasDst: bi.HasRet}
+		if bi.HasRet {
+			ins.Dst = lw.f.NewVReg()
+		}
+		lw.emit(ins)
+		return ins.Dst, minic.IntType, nil
+	}
+
+	fn, ok := lw.funcs[x.Name]
+	if !ok {
+		return 0, nil, terr(x.Line, "call to undefined function %q", x.Name)
+	}
+	if len(args) != len(fn.Params) {
+		return 0, nil, terr(x.Line, "%s expects %d arguments, got %d", x.Name, len(fn.Params), len(args))
+	}
+	hasRet := fn.Ret.Kind != minic.TypeVoid
+	ins := Instr{Kind: InstCall, Name: x.Name, Args: args, HasDst: hasRet}
+	if hasRet {
+		ins.Dst = lw.f.NewVReg()
+	}
+	lw.emit(ins)
+	retType := minic.IntType
+	if fn.Ret.Kind == minic.TypePtr {
+		retType = fn.Ret
+	}
+	return ins.Dst, retType, nil
+}

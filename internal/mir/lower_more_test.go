@@ -1,0 +1,116 @@
+package mir
+
+import (
+	"testing"
+
+	"github.com/nofreelunch/gadget-planner/internal/minic"
+)
+
+// TestPointerArithmeticLowering checks scaling and pointer-difference
+// division end to end at the IR level.
+func TestPointerArithmeticLowering(t *testing.T) {
+	m := lower(t, `
+int arr[8];
+int main() {
+    int *p = &arr[0];
+    int *q = p + 3;
+    int d = q - p;          // 3 (scaled back down)
+    char *c = "abc";
+    char *c2 = c + 2;       // unscaled
+    return d + (q - p) + *c2;
+}
+`)
+	if err := Verify(m.Func("main")); err != nil {
+		t.Fatal(err)
+	}
+	// Pointer + int over int* must contain a *8 scaling.
+	sawScale := false
+	for _, b := range m.Func("main").Blocks {
+		for i, ins := range b.Instrs {
+			if ins.Kind == InstConst && ins.Val == 8 && i+1 < len(b.Instrs) {
+				next := b.Instrs[i+1]
+				if next.Kind == InstBin && (next.Op == OpMul || next.Op == OpDiv) {
+					sawScale = true
+				}
+			}
+		}
+	}
+	if !sawScale {
+		t.Error("no pointer scaling emitted")
+	}
+}
+
+func TestShortCircuitLowering(t *testing.T) {
+	m := lower(t, `
+int side = 0;
+int f() { side = side + 1; return 1; }
+int main() {
+    int a = 0 && f();
+    int b = 1 || f();
+    return a + b * 10 + side * 100;
+}
+`)
+	main := m.Func("main")
+	// Short-circuit forms create extra blocks.
+	if len(main.Blocks) < 5 {
+		t.Errorf("blocks = %d, want >= 5", len(main.Blocks))
+	}
+	for _, f := range m.Funcs {
+		if err := Verify(f); err != nil {
+			t.Errorf("%s: %v", f.Name, err)
+		}
+	}
+}
+
+func TestVoidFunctionLowering(t *testing.T) {
+	m := lower(t, `
+int g = 0;
+void bump() { g = g + 1; return; }
+void twice() { bump(); bump(); }
+int main() { twice(); return g; }
+`)
+	bump := m.Func("bump")
+	if bump.HasRet {
+		t.Error("void function has ret value")
+	}
+	if err := Verify(bump); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForVariants(t *testing.T) {
+	srcs := []string{
+		"int main() { int i = 0; for (;;) { i++; if (i > 3) break; } return i; }",
+		"int main() { int i; for (i = 0; i < 3;) i++; return i; }",
+		"int main() { int s = 0; int i; for (i = 9; i; i--) s++; return s; }",
+	}
+	for _, src := range srcs {
+		prog, err := minic.Parse(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		m, err := Lower(prog)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if err := Verify(m.Func("main")); err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+	}
+}
+
+func TestCharComparisonsAndUnary(t *testing.T) {
+	m := lower(t, `
+int main() {
+    char c = 'z';
+    int a = !c;
+    int b = -a;
+    int d = ~b;
+    if (c >= 'a' && c <= 'z') return d;
+    return 0;
+}
+`)
+	if err := Verify(m.Func("main")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+package mir
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/nofreelunch/gadget-planner/internal/minic"
+)
+
+func lower(t *testing.T, src string) *Module {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Lower(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestLowerBasicShape(t *testing.T) {
+	m := lower(t, `
+int g = 7;
+int add(int a, int b) { return a + b; }
+int main() { return add(g, 2); }
+`)
+	if m.Func("main") == nil || m.Func("add") == nil {
+		t.Fatal("functions missing")
+	}
+	if !m.HasGlobal("g") {
+		t.Error("global g missing")
+	}
+	add := m.Func("add")
+	if add.NumParam != 2 || !add.HasRet {
+		t.Errorf("add = %+v", add)
+	}
+	for _, f := range m.Funcs {
+		if err := Verify(f); err != nil {
+			t.Errorf("verify %s: %v", f.Name, err)
+		}
+	}
+}
+
+func TestLowerControlFlowBlocks(t *testing.T) {
+	m := lower(t, `
+int main() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 10; i++) {
+        if (i == 5) continue;
+        s += i;
+    }
+    return s;
+}
+`)
+	f := m.Func("main")
+	if len(f.Blocks) < 5 {
+		t.Errorf("blocks = %d, want several", len(f.Blocks))
+	}
+	// The printed form must mention a condbr.
+	if !strings.Contains(f.String(), "condbr") {
+		t.Errorf("no condbr in:\n%s", f)
+	}
+}
+
+func TestLowerErrors(t *testing.T) {
+	cases := []string{
+		"int main() { return x; }",                  // undefined variable
+		"int main() { int a[2]; a = 0; return 0; }", // assign to array
+		"int main() { return f(); }",                // undefined function
+		"int main() { print_int(1, 2); return 0; }", // arity
+		"int main() { break; return 0; }",
+		"int f() { return 1; } int f() { return 2; } int main() { return 0; }",
+		"int x; int x; int main() { return 0; }",
+		"int main() { int y = *3; return y; }", // deref non-pointer
+	}
+	for _, src := range cases {
+		prog, err := minic.Parse(src)
+		if err != nil {
+			continue // parse-level rejection also fine
+		}
+		if _, err := Lower(prog); err == nil {
+			t.Errorf("Lower(%q) succeeded", src)
+		}
+	}
+	// Missing main.
+	prog, err := minic.Parse("int f() { return 1; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lower(prog); err == nil {
+		t.Error("missing main accepted")
+	}
+}
+
+func TestLowerDuplicateFunctionCheck(t *testing.T) {
+	// Duplicate function names silently shadow today would be a bug; the
+	// lowerer indexes by name so the call goes to one of them — ensure the
+	// module at least verifies.
+	m := lower(t, "int main() { return 0; }")
+	if len(m.Funcs) != 6 { // runtime prelude not included here: just main
+		// Only main: prelude is added by codegen.BuildProgram, not Lower.
+		if len(m.Funcs) != 1 {
+			t.Errorf("funcs = %d", len(m.Funcs))
+		}
+	}
+}
+
+func TestVerifyCatchesBrokenIR(t *testing.T) {
+	f := &Func{Name: "bad"}
+	b := f.NewBlock()
+	// Use of undefined vreg.
+	b.Instrs = append(b.Instrs, Instr{Kind: InstBin, Dst: 0, Op: OpAdd, A: 5, B: 6})
+	b.Term = Term{Kind: TermRet}
+	if err := Verify(f); err == nil {
+		t.Error("undefined vreg accepted")
+	}
+
+	f2 := &Func{Name: "bad2"}
+	b2 := f2.NewBlock()
+	v := f2.NewVReg()
+	b2.Instrs = append(b2.Instrs, Instr{Kind: InstConst, Dst: v, Val: 1})
+	b2.Term = Term{Kind: TermBr, Target: 99}
+	if err := Verify(f2); err == nil {
+		t.Error("invalid branch target accepted")
+	}
+
+	f3 := &Func{Name: "bad3"}
+	f3.NewBlock() // no terminator
+	if err := Verify(f3); err == nil {
+		t.Error("missing terminator accepted")
+	}
+}
+
+func TestStringInterning(t *testing.T) {
+	m := lower(t, `
+int main() {
+    char *a = "same";
+    char *b = "same";
+    char *c = "different";
+    return a[0] + b[0] + c[0];
+}
+`)
+	count := 0
+	for _, g := range m.Globals {
+		if strings.HasPrefix(g.Name, "str_") {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("interned strings = %d, want 2", count)
+	}
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	m := lower(t, `
+int a = 2 + 3 * 4;
+int arr[2] = {10, -1};
+char s[] = "ab";
+int main() { return 0; }
+`)
+	var ga, garr, gs *GlobalData
+	for i := range m.Globals {
+		switch m.Globals[i].Name {
+		case "a":
+			ga = &m.Globals[i]
+		case "arr":
+			garr = &m.Globals[i]
+		case "s":
+			gs = &m.Globals[i]
+		}
+	}
+	if ga == nil || ga.Init[0] != 14 {
+		t.Errorf("a init = %v", ga)
+	}
+	if garr == nil || garr.Init[8] != 0xFF {
+		t.Errorf("arr init = %v", garr)
+	}
+	if gs == nil || string(gs.Init) != "ab\x00" {
+		t.Errorf("s init = %q", gs.Init)
+	}
+}
+
+func TestInstrAndTermStrings(t *testing.T) {
+	ins := Instr{Kind: InstBin, Dst: 2, Op: OpAdd, A: 0, B: 1}
+	if ins.String() != "v2 = add v0, v1" {
+		t.Errorf("instr = %q", ins)
+	}
+	term := Term{Kind: TermCondBr, Cond: 3, Target: 1, Else: 2}
+	if term.String() != "condbr v3, b1, b2" {
+		t.Errorf("term = %q", term)
+	}
+	jt := Term{Kind: TermJumpTable, Index: 1, Targets: []int{0, 1}}
+	if !strings.Contains(jt.String(), "jumptable") {
+		t.Errorf("jt = %q", jt)
+	}
+}

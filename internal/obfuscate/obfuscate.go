@@ -1,0 +1,95 @@
+// Package obfuscate implements the five obfuscation transformations the
+// study exercises (paper Section II-A), as MIR-to-MIR passes mirroring how
+// Obfuscator-LLVM transforms LLVM IR and Tigress transforms C source:
+//
+//   - Substitute: instruction substitution (arithmetic identities)
+//   - BogusControlFlow: opaque-predicate-guarded junk blocks
+//   - Flatten: control-flow flattening through a dispatch loop
+//   - EncodeLiterals: affine encoding of integer constants
+//   - Virtualize: translation to bytecode run by an emitted interpreter
+//
+// The LLVMObf and Tigress presets reproduce the two obfuscators' pass
+// stacks. All passes are deterministic given the seed.
+package obfuscate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/nofreelunch/gadget-planner/internal/mir"
+)
+
+// Pass is one obfuscating transformation.
+type Pass interface {
+	// Name identifies the pass in reports ("sub", "bcf", "fla", ...).
+	Name() string
+	// Apply transforms the module in place.
+	Apply(m *mir.Module, rng *rand.Rand) error
+}
+
+// Apply runs passes in order with a deterministic stream per pass.
+func Apply(m *mir.Module, seed int64, passes ...Pass) error {
+	rng := rand.New(rand.NewSource(seed))
+	for _, p := range passes {
+		if err := p.Apply(m, rng); err != nil {
+			return fmt.Errorf("obfuscate: %s: %w", p.Name(), err)
+		}
+		for _, f := range m.Funcs {
+			if err := mir.Verify(f); err != nil {
+				return fmt.Errorf("obfuscate: %s broke %s: %w", p.Name(), f.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// LLVMObf returns the Obfuscator-LLVM preset: instruction substitution,
+// bogus control flow, control-flow flattening.
+func LLVMObf() []Pass {
+	return []Pass{
+		&Substitute{Rounds: 1},
+		&BogusControlFlow{Prob: 0.5},
+		&Flatten{},
+	}
+}
+
+// Tigress returns the Tigress preset: literal encoding, substitution,
+// bogus control flow, and virtualization of every function.
+func Tigress() []Pass {
+	return []Pass{
+		&EncodeLiterals{},
+		&Substitute{Rounds: 1},
+		&Virtualize{},
+		&BogusControlFlow{Prob: 0.3},
+	}
+}
+
+// ByName resolves a pass by its short name.
+func ByName(name string) (Pass, error) {
+	switch name {
+	case "sub":
+		return &Substitute{Rounds: 1}, nil
+	case "bcf":
+		return &BogusControlFlow{Prob: 0.5}, nil
+	case "fla":
+		return &Flatten{}, nil
+	case "enc":
+		return &EncodeLiterals{}, nil
+	case "virt":
+		return &Virtualize{}, nil
+	}
+	return nil, fmt.Errorf("obfuscate: unknown pass %q", name)
+}
+
+// AllPassNames lists the individual pass names (Fig. 5's x-axis).
+func AllPassNames() []string { return []string{"sub", "bcf", "fla", "enc", "virt"} }
+
+// junkGlobal ensures a scratch global for opaque predicates and junk code,
+// returning its name.
+func junkGlobal(m *mir.Module) string {
+	const name = "__obf_junk"
+	if !m.HasGlobal(name) {
+		m.AddGlobal(mir.GlobalData{Name: name, Size: 64})
+	}
+	return name
+}

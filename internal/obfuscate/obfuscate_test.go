@@ -1,0 +1,260 @@
+package obfuscate
+
+import (
+	"testing"
+
+	"github.com/nofreelunch/gadget-planner/internal/codegen"
+	"github.com/nofreelunch/gadget-planner/internal/mir"
+)
+
+// Benchmark-style programs exercising every language feature through every
+// obfuscation pass.
+var testPrograms = map[string]string{
+	"fib": `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main() {
+    print_int(fib(15));
+    print_char('\n');
+    return 0;
+}`,
+	"sort": `
+int a[16];
+int main() {
+    int i;
+    int j;
+    for (i = 0; i < 16; i++) a[i] = (i * 37 + 11) % 29;
+    for (i = 0; i < 16; i++) {
+        for (j = 0; j + 1 < 16 - i; j++) {
+            if (a[j] > a[j + 1]) {
+                int t = a[j];
+                a[j] = a[j + 1];
+                a[j + 1] = t;
+            }
+        }
+    }
+    for (i = 0; i < 16; i++) { print_int(a[i]); print_char(' '); }
+    print_char('\n');
+    return a[0];
+}`,
+	"strings": `
+int main() {
+    char buf[32];
+    char *msg = "obfuscate me";
+    int i = 0;
+    while (msg[i]) {
+        char c = msg[i];
+        if (c >= 'a' && c <= 'z') c = c - 'a' + 'A';
+        buf[i] = c;
+        i++;
+    }
+    buf[i] = 0;
+    print_str(buf);
+    print_char('\n');
+    return i;
+}`,
+	"bits": `
+int popcount(int x) {
+    int n = 0;
+    while (x) {
+        n += x & 1;
+        x = (x >> 1) & 0x7FFFFFFFFFFFFFF;
+    }
+    return n;
+}
+int main() {
+    print_int(popcount(0xDEADBEEF));
+    print_char(' ');
+    print_int(12345 ^ 54321);
+    print_char(' ');
+    print_int((123 * 456 - 789) / 13 % 97);
+    print_char('\n');
+    return 0;
+}`,
+	"calls": `
+int helper(int a, int b, int c) { return a * 100 + b * 10 + c; }
+int twice(int x) { return helper(x, x, x) * 2; }
+int main() {
+    print_int(helper(1, 2, 3) + twice(4));
+    print_char('\n');
+    return 0;
+}`,
+}
+
+// runPlain compiles without obfuscation.
+func runPlain(t *testing.T, src string) *codegen.RunResult {
+	t.Helper()
+	bin, err := codegen.BuildProgram(src, nil, codegen.Options{})
+	if err != nil {
+		t.Fatalf("build plain: %v", err)
+	}
+	res, err := codegen.Run(bin, nil, 0)
+	if err != nil {
+		t.Fatalf("run plain: %v", err)
+	}
+	return res
+}
+
+// runObf compiles with the given passes.
+func runObf(t *testing.T, src string, passes ...Pass) (*codegen.RunResult, int) {
+	t.Helper()
+	var codeSize int
+	bin, err := codegen.BuildProgram(src, func(m *mir.Module) error {
+		return Apply(m, 12345, passes...)
+	}, codegen.Options{})
+	if err != nil {
+		t.Fatalf("build obf: %v", err)
+	}
+	codeSize = bin.CodeSize()
+	res, err := codegen.Run(bin, nil, 0)
+	if err != nil {
+		t.Fatalf("run obf: %v", err)
+	}
+	return res, codeSize
+}
+
+// TestPassesPreserveSemantics is the key obfuscator test: every pass and
+// preset must leave program behaviour identical.
+func TestPassesPreserveSemantics(t *testing.T) {
+	configs := map[string][]Pass{
+		"sub":      {&Substitute{Rounds: 1}},
+		"sub2":     {&Substitute{Rounds: 2}},
+		"bcf":      {&BogusControlFlow{Prob: 0.8}},
+		"fla":      {&Flatten{}},
+		"enc":      {&EncodeLiterals{}},
+		"virt":     {&Virtualize{}},
+		"llvm-obf": LLVMObf(),
+		"tigress":  Tigress(),
+		"fla+virt": {&Flatten{}, &Virtualize{}},
+		"virt+fla": {&Virtualize{}, &Flatten{}},
+	}
+	for progName, src := range testPrograms {
+		plain := runPlain(t, src)
+		for cfgName, passes := range configs {
+			t.Run(progName+"/"+cfgName, func(t *testing.T) {
+				obf, _ := runObf(t, src, passes...)
+				if obf.Stdout != plain.Stdout {
+					t.Errorf("stdout mismatch:\nplain: %q\nobf:   %q", plain.Stdout, obf.Stdout)
+				}
+				if obf.ExitCode != plain.ExitCode {
+					t.Errorf("exit mismatch: plain %d, obf %d", plain.ExitCode, obf.ExitCode)
+				}
+			})
+		}
+	}
+}
+
+// TestObfuscationGrowsCode checks the size blowup the paper reports ("code
+// size expands twice as large" for O-LLVM).
+func TestObfuscationGrowsCode(t *testing.T) {
+	src := testPrograms["sort"]
+	plainBin, err := codegen.BuildProgram(src, nil, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainSize := plainBin.CodeSize()
+	for _, cfg := range []struct {
+		name   string
+		passes []Pass
+		factor float64
+	}{
+		{"llvm-obf", LLVMObf(), 1.5},
+		{"tigress", Tigress(), 2.0},
+	} {
+		bin, err := codegen.BuildProgram(src, func(m *mir.Module) error {
+			return Apply(m, 99, cfg.passes...)
+		}, codegen.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(bin.CodeSize()) / float64(plainSize)
+		if ratio < cfg.factor {
+			t.Errorf("%s: code growth %.2fx, want >= %.2fx", cfg.name, ratio, cfg.factor)
+		}
+		t.Logf("%s: %d -> %d bytes (%.2fx)", cfg.name, plainSize, bin.CodeSize(), ratio)
+	}
+}
+
+// TestDeterministic confirms the same seed yields identical binaries.
+func TestDeterministic(t *testing.T) {
+	src := testPrograms["fib"]
+	build := func() []byte {
+		bin, err := codegen.BuildProgram(src, func(m *mir.Module) error {
+			return Apply(m, 7, LLVMObf()...)
+		}, codegen.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bin.Marshal()
+	}
+	a, b := build(), build()
+	if string(a) != string(b) {
+		t.Error("same seed produced different binaries")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range AllPassNames() {
+		p, err := ByName(name)
+		if err != nil || p.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("ByName accepted unknown pass")
+	}
+}
+
+func TestSubstituteRemovesPlainXor(t *testing.T) {
+	// After substitution, no direct xor of two original operands remains in
+	// blocks that had one (it is rewritten through and/or/not).
+	src := `int main() { int a = 5; int b = 3; print_int(a ^ b); return 0; }`
+	plain := runPlain(t, src)
+	obf, _ := runObf(t, src, &Substitute{Rounds: 1})
+	if obf.Stdout != plain.Stdout {
+		t.Errorf("stdout: %q vs %q", obf.Stdout, plain.Stdout)
+	}
+}
+
+// TestFlattenAddsJumpTable confirms flattening introduces dispatch tables.
+func TestFlattenAddsJumpTable(t *testing.T) {
+	bin, err := codegen.BuildProgram(testPrograms["sort"], func(m *mir.Module) error {
+		if err := Apply(m, 5, &Flatten{}); err != nil {
+			return err
+		}
+		found := false
+		for _, f := range m.Funcs {
+			for _, b := range f.Blocks {
+				if b.Term.Kind == mir.TermJumpTable {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Error("no jump table after flattening")
+		}
+		return nil
+	}, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = bin
+}
+
+// TestVirtualizeCreatesBytecode confirms per-function bytecode globals.
+func TestVirtualizeCreatesBytecode(t *testing.T) {
+	_, err := codegen.BuildProgram(testPrograms["fib"], func(m *mir.Module) error {
+		if err := Apply(m, 5, &Virtualize{}); err != nil {
+			return err
+		}
+		if !m.HasGlobal("__vm_code_fib") || !m.HasGlobal("__vm_code_main") {
+			t.Error("missing VM bytecode globals")
+		}
+		return nil
+	}, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

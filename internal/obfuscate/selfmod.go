@@ -1,0 +1,106 @@
+package obfuscate
+
+import (
+	"fmt"
+
+	"github.com/nofreelunch/gadget-planner/internal/asm"
+	"github.com/nofreelunch/gadget-planner/internal/sbf"
+)
+
+// SelfModifyBinary applies the paper's self-modification obfuscation
+// (Section II-A (5)) as a post-link transform: the executable section is
+// XOR-encoded, marked writable, and a decoder stub that restores it at
+// startup becomes the new entry point.
+//
+// Statically, the program's real code is invisible — a gadget scan over
+// the encoded bytes sees noise. The decoded runtime image, however, is the
+// original attack surface, plus the stub's own gadgets: the no-free-lunch
+// trade-off in its purest form. (See TestSelfModifyDefeatsStaticScan.)
+func SelfModifyBinary(bin *sbf.Binary, key byte) (*sbf.Binary, error) {
+	if key == 0 {
+		return nil, fmt.Errorf("obfuscate: selfmod key must be non-zero")
+	}
+	text := bin.Section(".text")
+	if text == nil {
+		return nil, fmt.Errorf("obfuscate: no .text section")
+	}
+
+	out := sbf.New()
+	out.Symbols = make(map[string]uint64, len(bin.Symbols)+1)
+	for k, v := range bin.Symbols {
+		out.Symbols[k] = v
+	}
+
+	// Decoder stub below the text base.
+	stubBase := text.Addr - 0x1000
+	stub := fmt.Sprintf(`
+_decode:
+    movabs rbx, %#x
+    movabs rcx, %#x
+decode_loop:
+    movzx eax, byte [rbx]
+    xor eax, %#x
+    mov byte [rbx], al
+    inc rbx
+    dec rcx
+    jnz decode_loop
+    movabs rax, %#x
+    jmp rax
+`, text.Addr, len(text.Data), int(key), bin.Entry)
+	r, err := asm.Assemble(stub, stubBase)
+	if err != nil {
+		return nil, fmt.Errorf("obfuscate: selfmod stub: %w", err)
+	}
+
+	encoded := make([]byte, len(text.Data))
+	for i, b := range text.Data {
+		encoded[i] = b ^ key
+	}
+
+	for _, s := range bin.Sections {
+		if s.Name == ".text" {
+			// The code must be writable so the stub can decode it (the
+			// W^X violation is inherent to self-modifying programs).
+			out.AddSection(sbf.Section{
+				Name: s.Name, Addr: s.Addr,
+				Flags: sbf.FlagRead | sbf.FlagWrite | sbf.FlagExec,
+				Data:  encoded,
+			})
+			continue
+		}
+		out.AddSection(s)
+	}
+	out.AddSection(sbf.Section{
+		Name: ".stub", Addr: stubBase,
+		Flags: sbf.FlagRead | sbf.FlagExec, Data: r.Code,
+	})
+	out.Entry = stubBase
+	out.Symbols["_decode"] = stubBase
+	return out, nil
+}
+
+// DecodeSelfModified statically reverses SelfModifyBinary for analysis —
+// what an attacker does after dumping the runtime image.
+func DecodeSelfModified(bin *sbf.Binary, key byte) (*sbf.Binary, error) {
+	text := bin.Section(".text")
+	if text == nil {
+		return nil, fmt.Errorf("obfuscate: no .text section")
+	}
+	out := sbf.New()
+	out.Symbols = bin.Symbols
+	for _, s := range bin.Sections {
+		if s.Name == ".text" {
+			decoded := make([]byte, len(s.Data))
+			for i, b := range s.Data {
+				decoded[i] = b ^ key
+			}
+			out.AddSection(sbf.Section{
+				Name: s.Name, Addr: s.Addr, Flags: s.Flags, Data: decoded,
+			})
+			continue
+		}
+		out.AddSection(s)
+	}
+	out.Entry = bin.Entry
+	return out, nil
+}

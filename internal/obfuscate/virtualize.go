@@ -1,0 +1,478 @@
+package obfuscate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"github.com/nofreelunch/gadget-planner/internal/mir"
+)
+
+// Virtualize translates every function body into bytecode for a custom
+// stack-frame VM and replaces the body with a fetch-dispatch interpreter
+// (paper Section II-A (7), Tigress's flagship transformation). The
+// interpreter's dispatch is an indirect jump through a handler table, which
+// is precisely the structure the paper identifies as a rich source of
+// indirect-jump gadgets.
+//
+// VM encoding: each instruction is four little-endian 64-bit words
+// [opcode, dst, a, b]. Virtual registers live in a frame-local array; the
+// original function's locals are preserved (so pointers into them still
+// work), addressed through an address table filled in at function entry.
+type Virtualize struct{}
+
+// Name implements Pass.
+func (*Virtualize) Name() string { return "virt" }
+
+// VM opcodes.
+const (
+	vmConst   = 0 // dst = imm(a)
+	vmNeg     = 1
+	vmNot     = 2
+	vmCopy    = 3
+	vmLoad1   = 4
+	vmLoad8   = 5
+	vmStore1  = 6 // [reg a] = reg b
+	vmStore8  = 7
+	vmAddrL   = 8 // dst = address of local #a
+	vmAddrG   = 9 // dst = address of global table entry #a
+	vmBr      = 10
+	vmCondBr  = 11 // if reg dst != 0 goto a else b
+	vmRetV    = 12
+	vmRet0    = 13
+	vmCall    = 14 // call site #a
+	vmBinBase = 16 // vmBinBase+binop: dst = reg a <op> reg b
+)
+
+// Apply implements Pass.
+func (*Virtualize) Apply(m *mir.Module, rng *rand.Rand) error {
+	for i, f := range m.Funcs {
+		nf, err := virtualizeFunc(m, f)
+		if err != nil {
+			return err
+		}
+		m.Funcs[i] = nf
+	}
+	return nil
+}
+
+// callSite describes one static call in the bytecode.
+type callSite struct {
+	name   string
+	args   []int64 // vm register indices
+	dst    int64
+	hasDst bool
+}
+
+// vmInstr is one VM instruction before byte encoding.
+type vmInstr struct {
+	op, dst, a, b int64
+	// brTargets marks a/b as block IDs to patch to pcs.
+	aIsBlock, bIsBlock bool
+}
+
+func virtualizeFunc(m *mir.Module, f *mir.Func) (*mir.Func, error) {
+	// --- Translate MIR to bytecode. ---
+	var code []vmInstr
+	var sites []callSite
+	globalIdx := make(map[string]int64)
+	var globalNames []string
+	gidx := func(name string) int64 {
+		if i, ok := globalIdx[name]; ok {
+			return i
+		}
+		i := int64(len(globalNames))
+		globalIdx[name] = i
+		globalNames = append(globalNames, name)
+		return i
+	}
+	nextVMReg := int64(f.NumVRegs)
+	blockPC := make(map[int]int64)
+
+	for _, blk := range f.Blocks {
+		blockPC[blk.ID] = int64(len(code))
+		for _, ins := range blk.Instrs {
+			switch ins.Kind {
+			case mir.InstConst:
+				code = append(code, vmInstr{op: vmConst, dst: int64(ins.Dst), a: ins.Val})
+			case mir.InstNeg:
+				code = append(code, vmInstr{op: vmNeg, dst: int64(ins.Dst), a: int64(ins.A)})
+			case mir.InstNot:
+				code = append(code, vmInstr{op: vmNot, dst: int64(ins.Dst), a: int64(ins.A)})
+			case mir.InstCopy:
+				code = append(code, vmInstr{op: vmCopy, dst: int64(ins.Dst), a: int64(ins.A)})
+			case mir.InstBin:
+				code = append(code, vmInstr{op: vmBinBase + int64(ins.Op), dst: int64(ins.Dst), a: int64(ins.A), b: int64(ins.B)})
+			case mir.InstLoad:
+				op := int64(vmLoad8)
+				if ins.Size == 1 {
+					op = vmLoad1
+				}
+				code = append(code, vmInstr{op: op, dst: int64(ins.Dst), a: int64(ins.A)})
+			case mir.InstStore:
+				op := int64(vmStore8)
+				if ins.Size == 1 {
+					op = vmStore1
+				}
+				code = append(code, vmInstr{op: op, a: int64(ins.A), b: int64(ins.B)})
+			case mir.InstAddrLocal:
+				code = append(code, vmInstr{op: vmAddrL, dst: int64(ins.Dst), a: int64(ins.Local)})
+			case mir.InstAddrGlobal:
+				code = append(code, vmInstr{op: vmAddrG, dst: int64(ins.Dst), a: gidx(ins.Name)})
+			case mir.InstCall:
+				site := callSite{name: ins.Name, hasDst: ins.HasDst, dst: int64(ins.Dst)}
+				for _, a := range ins.Args {
+					site.args = append(site.args, int64(a))
+				}
+				code = append(code, vmInstr{op: vmCall, a: int64(len(sites))})
+				sites = append(sites, site)
+			default:
+				return nil, fmt.Errorf("virtualize: unknown instruction kind %d", ins.Kind)
+			}
+		}
+		switch blk.Term.Kind {
+		case mir.TermRet:
+			if blk.Term.HasVal {
+				code = append(code, vmInstr{op: vmRetV, a: int64(blk.Term.Val)})
+			} else {
+				code = append(code, vmInstr{op: vmRet0})
+			}
+		case mir.TermBr:
+			code = append(code, vmInstr{op: vmBr, a: int64(blk.Term.Target), aIsBlock: true})
+		case mir.TermCondBr:
+			code = append(code, vmInstr{
+				op: vmCondBr, dst: int64(blk.Term.Cond),
+				a: int64(blk.Term.Target), b: int64(blk.Term.Else),
+				aIsBlock: true, bIsBlock: true,
+			})
+		case mir.TermJumpTable:
+			// Lower to an equality chain over fresh VM registers.
+			for i, tgt := range blk.Term.Targets {
+				if i == len(blk.Term.Targets)-1 {
+					code = append(code, vmInstr{op: vmBr, a: int64(tgt), aIsBlock: true})
+					break
+				}
+				cReg := nextVMReg
+				eqReg := nextVMReg + 1
+				nextVMReg += 2
+				code = append(code, vmInstr{op: vmConst, dst: cReg, a: int64(i)})
+				code = append(code, vmInstr{op: vmBinBase + int64(mir.OpEQ), dst: eqReg, a: int64(blk.Term.Index), b: cReg})
+				code = append(code, vmInstr{
+					op: vmCondBr, dst: eqReg,
+					a: int64(tgt), b: int64(len(code) + 1),
+					aIsBlock: true, // b is the fall-through pc, already absolute
+				})
+			}
+		}
+	}
+
+	// Patch block targets to pcs.
+	for i := range code {
+		if code[i].aIsBlock {
+			code[i].a = blockPC[int(code[i].a)]
+		}
+		if code[i].bIsBlock {
+			code[i].b = blockPC[int(code[i].b)]
+		}
+	}
+
+	// Serialize bytecode into a global.
+	buf := make([]byte, 0, len(code)*32)
+	for _, ci := range code {
+		for _, w := range []int64{ci.op, ci.dst, ci.a, ci.b} {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(w))
+		}
+	}
+	codeName := fmt.Sprintf("__vm_code_%s", f.Name)
+	m.AddGlobal(mir.GlobalData{Name: codeName, Size: len(buf), Init: buf})
+
+	// --- Build the interpreter. ---
+	nf := &mir.Func{Name: f.Name, NumParam: f.NumParam, HasRet: f.HasRet}
+	nf.Locals = append(nf.Locals, f.Locals...) // preserve original locals
+	v := &vgen{
+		m: m, f: nf, code: codeName,
+		numLocals: len(f.Locals), globals: globalNames,
+	}
+	v.pcL = nf.AddLocal("__vm_pc", 8)
+	v.regsL = nf.AddLocal("__vm_regs", int(nextVMReg+1)*8)
+	v.ltabL = nf.AddLocal("__vm_ltab", v.numLocals*8+8)
+	v.gtabL = nf.AddLocal("__vm_gtab", len(globalNames)*8+8)
+	v.build(sites)
+	return nf, nil
+}
+
+// vgen generates the interpreter function.
+type vgen struct {
+	m         *mir.Module
+	f         *mir.Func
+	code      string
+	numLocals int
+	globals   []string
+	pcL       int
+	regsL     int
+	ltabL     int
+	gtabL     int
+}
+
+func (v *vgen) c(b *mir.Block, val int64) mir.VReg {
+	d := v.f.NewVReg()
+	b.Instrs = append(b.Instrs, mir.Instr{Kind: mir.InstConst, Dst: d, Val: val})
+	return d
+}
+
+func (v *vgen) bin(b *mir.Block, op mir.BinOp, x, y mir.VReg) mir.VReg {
+	d := v.f.NewVReg()
+	b.Instrs = append(b.Instrs, mir.Instr{Kind: mir.InstBin, Dst: d, Op: op, A: x, B: y})
+	return d
+}
+
+func (v *vgen) addrLocal(b *mir.Block, idx int) mir.VReg {
+	d := v.f.NewVReg()
+	b.Instrs = append(b.Instrs, mir.Instr{Kind: mir.InstAddrLocal, Dst: d, Local: idx})
+	return d
+}
+
+func (v *vgen) load(b *mir.Block, addr mir.VReg, size uint8) mir.VReg {
+	d := v.f.NewVReg()
+	b.Instrs = append(b.Instrs, mir.Instr{Kind: mir.InstLoad, Dst: d, A: addr, Size: size})
+	return d
+}
+
+func (v *vgen) store(b *mir.Block, addr, val mir.VReg, size uint8) {
+	b.Instrs = append(b.Instrs, mir.Instr{Kind: mir.InstStore, A: addr, B: val, Size: size})
+}
+
+// loadPC returns the current pc value.
+func (v *vgen) loadPC(b *mir.Block) mir.VReg {
+	return v.load(b, v.addrLocal(b, v.pcL), 8)
+}
+
+// instrAddr returns the address of the current 32-byte VM instruction.
+func (v *vgen) instrAddr(b *mir.Block, pc mir.VReg) mir.VReg {
+	base := v.f.NewVReg()
+	b.Instrs = append(b.Instrs, mir.Instr{Kind: mir.InstAddrGlobal, Dst: base, Name: v.code})
+	c32 := v.c(b, 32)
+	off := v.bin(b, mir.OpMul, pc, c32)
+	return v.bin(b, mir.OpAdd, base, off)
+}
+
+// word loads word i (0..3) of the instruction at addr.
+func (v *vgen) word(b *mir.Block, addr mir.VReg, i int64) mir.VReg {
+	off := v.c(b, i*8)
+	return v.load(b, v.bin(b, mir.OpAdd, addr, off), 8)
+}
+
+// regAddr returns &vmregs[idx] for a dynamic register index.
+func (v *vgen) regAddr(b *mir.Block, idx mir.VReg) mir.VReg {
+	base := v.addrLocal(b, v.regsL)
+	c8 := v.c(b, 8)
+	off := v.bin(b, mir.OpMul, idx, c8)
+	return v.bin(b, mir.OpAdd, base, off)
+}
+
+// regRead reads vmregs[idx].
+func (v *vgen) regRead(b *mir.Block, idx mir.VReg) mir.VReg {
+	return v.load(b, v.regAddr(b, idx), 8)
+}
+
+// regWrite writes vmregs[idx].
+func (v *vgen) regWrite(b *mir.Block, idx, val mir.VReg) {
+	v.store(b, v.regAddr(b, idx), val, 8)
+}
+
+// setPC stores a new pc.
+func (v *vgen) setPC(b *mir.Block, pc mir.VReg) {
+	v.store(b, v.addrLocal(b, v.pcL), pc, 8)
+}
+
+// bumpPC sets pc = pc+1 given the current value.
+func (v *vgen) bumpPC(b *mir.Block, pc mir.VReg) {
+	one := v.c(b, 1)
+	v.setPC(b, v.bin(b, mir.OpAdd, pc, one))
+}
+
+// build assembles the interpreter CFG.
+func (v *vgen) build(sites []callSite) {
+	f := v.f
+	entry := f.NewBlock()    // block 0
+	dispatch := f.NewBlock() // block 1
+
+	// Entry: fill the local-address and global-address tables, pc = 0.
+	for i := 0; i < v.numLocals; i++ {
+		la := v.addrLocal(entry, i)
+		slot := v.addrLocal(entry, v.ltabL)
+		off := v.c(entry, int64(i)*8)
+		v.store(entry, v.bin(entry, mir.OpAdd, slot, off), la, 8)
+	}
+	for i, name := range v.globals {
+		ga := f.NewVReg()
+		entry.Instrs = append(entry.Instrs, mir.Instr{Kind: mir.InstAddrGlobal, Dst: ga, Name: name})
+		slot := v.addrLocal(entry, v.gtabL)
+		off := v.c(entry, int64(i)*8)
+		v.store(entry, v.bin(entry, mir.OpAdd, slot, off), ga, 8)
+	}
+	zero := v.c(entry, 0)
+	v.setPC(entry, zero)
+	entry.Term = mir.Term{Kind: mir.TermBr, Target: dispatch.ID}
+
+	// Handlers (created before dispatch's jump table references them).
+	mkHandler := func(gen func(b *mir.Block, addr mir.VReg)) int {
+		b := f.NewBlock()
+		pc := v.loadPC(b)
+		addr := v.instrAddr(b, pc)
+		gen(b, addr)
+		if b.Term.Kind == 0 {
+			b.Term = mir.Term{Kind: mir.TermBr, Target: dispatch.ID}
+		}
+		return b.ID
+	}
+
+	handlers := make([]int, int(vmBinBase)+int(mir.OpULT)+1)
+
+	handlers[vmConst] = mkHandler(func(b *mir.Block, addr mir.VReg) {
+		dst := v.word(b, addr, 1)
+		val := v.word(b, addr, 2)
+		v.regWrite(b, dst, val)
+		v.bumpPC(b, v.loadPC(b))
+	})
+	handlers[vmNeg] = mkHandler(func(b *mir.Block, addr mir.VReg) {
+		dst := v.word(b, addr, 1)
+		a := v.regRead(b, v.word(b, addr, 2))
+		d := f.NewVReg()
+		b.Instrs = append(b.Instrs, mir.Instr{Kind: mir.InstNeg, Dst: d, A: a})
+		v.regWrite(b, dst, d)
+		v.bumpPC(b, v.loadPC(b))
+	})
+	handlers[vmNot] = mkHandler(func(b *mir.Block, addr mir.VReg) {
+		dst := v.word(b, addr, 1)
+		a := v.regRead(b, v.word(b, addr, 2))
+		d := f.NewVReg()
+		b.Instrs = append(b.Instrs, mir.Instr{Kind: mir.InstNot, Dst: d, A: a})
+		v.regWrite(b, dst, d)
+		v.bumpPC(b, v.loadPC(b))
+	})
+	handlers[vmCopy] = mkHandler(func(b *mir.Block, addr mir.VReg) {
+		dst := v.word(b, addr, 1)
+		a := v.regRead(b, v.word(b, addr, 2))
+		v.regWrite(b, dst, a)
+		v.bumpPC(b, v.loadPC(b))
+	})
+	handlers[vmLoad1] = mkHandler(func(b *mir.Block, addr mir.VReg) {
+		dst := v.word(b, addr, 1)
+		ptr := v.regRead(b, v.word(b, addr, 2))
+		v.regWrite(b, dst, v.load(b, ptr, 1))
+		v.bumpPC(b, v.loadPC(b))
+	})
+	handlers[vmLoad8] = mkHandler(func(b *mir.Block, addr mir.VReg) {
+		dst := v.word(b, addr, 1)
+		ptr := v.regRead(b, v.word(b, addr, 2))
+		v.regWrite(b, dst, v.load(b, ptr, 8))
+		v.bumpPC(b, v.loadPC(b))
+	})
+	handlers[vmStore1] = mkHandler(func(b *mir.Block, addr mir.VReg) {
+		ptr := v.regRead(b, v.word(b, addr, 2))
+		val := v.regRead(b, v.word(b, addr, 3))
+		v.store(b, ptr, val, 1)
+		v.bumpPC(b, v.loadPC(b))
+	})
+	handlers[vmStore8] = mkHandler(func(b *mir.Block, addr mir.VReg) {
+		ptr := v.regRead(b, v.word(b, addr, 2))
+		val := v.regRead(b, v.word(b, addr, 3))
+		v.store(b, ptr, val, 8)
+		v.bumpPC(b, v.loadPC(b))
+	})
+	handlers[vmAddrL] = mkHandler(func(b *mir.Block, addr mir.VReg) {
+		dst := v.word(b, addr, 1)
+		idx := v.word(b, addr, 2)
+		tab := v.addrLocal(b, v.ltabL)
+		c8 := v.c(b, 8)
+		slot := v.bin(b, mir.OpAdd, tab, v.bin(b, mir.OpMul, idx, c8))
+		v.regWrite(b, dst, v.load(b, slot, 8))
+		v.bumpPC(b, v.loadPC(b))
+	})
+	handlers[vmAddrG] = mkHandler(func(b *mir.Block, addr mir.VReg) {
+		dst := v.word(b, addr, 1)
+		idx := v.word(b, addr, 2)
+		tab := v.addrLocal(b, v.gtabL)
+		c8 := v.c(b, 8)
+		slot := v.bin(b, mir.OpAdd, tab, v.bin(b, mir.OpMul, idx, c8))
+		v.regWrite(b, dst, v.load(b, slot, 8))
+		v.bumpPC(b, v.loadPC(b))
+	})
+	handlers[vmBr] = mkHandler(func(b *mir.Block, addr mir.VReg) {
+		v.setPC(b, v.word(b, addr, 2))
+	})
+	handlers[vmCondBr] = mkHandler(func(b *mir.Block, addr mir.VReg) {
+		cond := v.regRead(b, v.word(b, addr, 1))
+		t := v.word(b, addr, 2)
+		e := v.word(b, addr, 3)
+		// pc = e + (cond != 0) * (t - e)
+		z := v.c(b, 0)
+		norm := v.bin(b, mir.OpNE, cond, z)
+		diff := v.bin(b, mir.OpSub, t, e)
+		v.setPC(b, v.bin(b, mir.OpAdd, e, v.bin(b, mir.OpMul, norm, diff)))
+	})
+	handlers[vmRetV] = mkHandler(func(b *mir.Block, addr mir.VReg) {
+		val := v.regRead(b, v.word(b, addr, 2))
+		b.Term = mir.Term{Kind: mir.TermRet, Val: val, HasVal: true}
+	})
+	handlers[vmRet0] = mkHandler(func(b *mir.Block, addr mir.VReg) {
+		b.Term = mir.Term{Kind: mir.TermRet}
+	})
+
+	// Per-callsite dispatch: the CALL handler jump-tables on the site index.
+	siteBlocks := make([]int, 0, len(sites))
+	for _, site := range sites {
+		site := site
+		siteBlocks = append(siteBlocks, mkHandler(func(b *mir.Block, addr mir.VReg) {
+			var args []mir.VReg
+			for _, aIdx := range site.args {
+				idxV := v.c(b, aIdx)
+				args = append(args, v.regRead(b, idxV))
+			}
+			call := mir.Instr{Kind: mir.InstCall, Name: site.name, Args: args, HasDst: site.hasDst}
+			if site.hasDst {
+				call.Dst = f.NewVReg()
+			}
+			b.Instrs = append(b.Instrs, call)
+			if site.hasDst {
+				dIdx := v.c(b, site.dst)
+				v.regWrite(b, dIdx, call.Dst)
+			}
+			v.bumpPC(b, v.loadPC(b))
+		}))
+	}
+	if len(siteBlocks) > 0 {
+		handlers[vmCall] = mkHandler(func(b *mir.Block, addr mir.VReg) {
+			idx := v.word(b, addr, 2)
+			b.Term = mir.Term{Kind: mir.TermJumpTable, Index: idx, Targets: siteBlocks}
+		})
+	} else {
+		handlers[vmCall] = handlers[vmRet0] // unreachable
+	}
+
+	// Binary-operation handlers.
+	for op := mir.OpAdd; op <= mir.OpULT; op++ {
+		op := op
+		handlers[int(vmBinBase)+int(op)] = mkHandler(func(b *mir.Block, addr mir.VReg) {
+			dst := v.word(b, addr, 1)
+			a := v.regRead(b, v.word(b, addr, 2))
+			bb := v.regRead(b, v.word(b, addr, 3))
+			v.regWrite(b, dst, v.bin(b, op, a, bb))
+			v.bumpPC(b, v.loadPC(b))
+		})
+	}
+
+	// Dispatch: fetch opcode, jump through the handler table.
+	pc := v.loadPC(dispatch)
+	addr := v.instrAddr(dispatch, pc)
+	op := v.load(dispatch, addr, 8)
+	targets := make([]int, len(handlers))
+	for i, h := range handlers {
+		if h == 0 {
+			h = handlers[vmRet0] // unused opcodes trap to return
+		}
+		targets[i] = h
+	}
+	dispatch.Term = mir.Term{Kind: mir.TermJumpTable, Index: op, Targets: targets}
+}

@@ -1,0 +1,137 @@
+package payload
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"github.com/nofreelunch/gadget-planner/internal/expr"
+	"github.com/nofreelunch/gadget-planner/internal/gadget"
+	"github.com/nofreelunch/gadget-planner/internal/planner"
+	"github.com/nofreelunch/gadget-planner/internal/sbf"
+)
+
+// TestDerefChainEndToEnd drives the controlled-memory mechanism: the only
+// rdx setter loads through rbp, so the concretizer must pin [rbp-8] into
+// the payload scratch region.
+func TestDerefChainEndToEnd(t *testing.T) {
+	src := `
+    pop rax
+    ret
+    pop rdi
+    ret
+    pop rsi
+    ret
+    pop rbp
+    ret
+    mov rdx, qword [rbp-8]
+    ret
+    syscall
+`
+	p := endToEnd(t, src, planner.ExecveGoal())
+	// The payload must extend into the scratch region.
+	if len(p.Bytes) <= 0x200 {
+		t.Errorf("payload %d bytes: no scratch region", len(p.Bytes))
+	}
+	hasDeref := false
+	for _, g := range p.Chain {
+		if g.Effect.HasDerefs() {
+			hasDeref = true
+		}
+	}
+	if !hasDeref {
+		t.Error("chain avoided the deref gadget")
+	}
+}
+
+// TestDerefGeometry: two loads with fixed relative offsets must land in one
+// scratch window with consistent geometry.
+func TestDerefGeometryGrouping(t *testing.T) {
+	src := `
+    pop rax
+    ret
+    pop rdi
+    ret
+    pop rbp
+    ret
+    mov rsi, qword [rbp-8]
+    mov rdx, qword [rbp-0x18]
+    ret
+    syscall
+`
+	p := endToEnd(t, src, planner.ExecveGoal())
+	_ = p // verification inside endToEnd is the assertion
+}
+
+// TestStaticTableRead: a constant-address load from immutable text resolves
+// to the actual bytes (the jump-table mechanism).
+func TestStaticTableRead(t *testing.T) {
+	src := `
+    pop rax
+    ret
+    pop rdi
+    ret
+    pop rsi
+    ret
+    mov rdx, qword [rip+tbl-.next]
+.next:
+    ret
+    syscall
+tbl: .quad 0
+`
+	// Simpler: absolute addressing via a movabs'd constant is already
+	// covered by compiled-binary tests; here check staticRead directly.
+	_ = src
+	bin := sbf.New()
+	bin.AddSection(sbf.Section{
+		Name: ".text", Addr: 0x1000, Flags: sbf.FlagRead | sbf.FlagExec,
+		Data: []byte{1, 2, 3, 4, 5, 6, 7, 8, 9},
+	})
+	bin.AddSection(sbf.Section{
+		Name: ".data", Addr: 0x2000, Flags: sbf.FlagRead | sbf.FlagWrite,
+		Data: []byte{9, 9, 9, 9, 9, 9, 9, 9},
+	})
+	c := NewConcretizer(&mockPool, bin, 0x7FFF8000)
+	v, ok := c.staticRead(0x1000, 8)
+	if !ok || v != 0x0807060504030201 {
+		t.Errorf("staticRead = %#x, %v", v, ok)
+	}
+	// Writable sections must not resolve (contents can change at runtime).
+	if _, ok := c.staticRead(0x2000, 8); ok {
+		t.Error("staticRead resolved a writable section")
+	}
+	// Out-of-bounds reads must not resolve.
+	if _, ok := c.staticRead(0x1008, 8); ok {
+		t.Error("staticRead resolved past section end")
+	}
+	if _, ok := c.staticRead(0x3000, 8); ok {
+		t.Error("staticRead resolved unmapped memory")
+	}
+}
+
+// TestPayloadDumpFormat sanity-checks the diagnostic dump.
+func TestPayloadDumpFormat(t *testing.T) {
+	p := &Payload{
+		Bytes: make([]byte, 24),
+		Base:  0x7FFF8000,
+		Goal:  planner.ExecveGoal(),
+	}
+	binary.LittleEndian.PutUint64(p.Bytes, 0x401000)
+	dump := p.Dump()
+	if !strings.Contains(dump, "0000000000401000") || !strings.Contains(dump, "execve") {
+		t.Errorf("dump = %q", dump)
+	}
+}
+
+// TestVerifyUnknownGoal exercises the error path.
+func TestVerifyUnknownGoal(t *testing.T) {
+	bin, _ := buildBin(t, "ret")
+	p := &Payload{Bytes: make([]byte, 16), Base: 0x7FFF8000, Entry: 0x401000,
+		Goal: planner.Goal{Name: "nonsense"}}
+	if err := Verify(bin, p, 10); err == nil {
+		t.Error("unknown goal accepted")
+	}
+}
+
+// mockPool is an empty pool for direct Concretizer construction.
+var mockPool = gadget.Pool{Builder: expr.NewBuilder()}

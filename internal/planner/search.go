@@ -1,0 +1,438 @@
+package planner
+
+import (
+	"container/heap"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/nofreelunch/gadget-planner/internal/gadget"
+	"github.com/nofreelunch/gadget-planner/internal/isa"
+	"github.com/nofreelunch/gadget-planner/internal/symex"
+)
+
+// Options tune the plan search.
+type Options struct {
+	// MaxPlans stops the search after this many validated plans. Default 8.
+	MaxPlans int
+	// MaxNodes bounds search-node expansions. Default 30000.
+	MaxNodes int
+	// MaxSteps bounds gadget instances per plan (chain length). Default 10.
+	MaxSteps int
+	// Candidates caps producer candidates tried per open requirement.
+	// Default 8.
+	Candidates int
+	// Timeout bounds wall-clock search time. Default 30s.
+	Timeout time.Duration
+	// Validate, if set, is called on each complete plan; only plans it
+	// accepts are returned (Algorithm 1's UNSAT filtering, implemented by
+	// payload concretization in the core pipeline).
+	Validate func(*Plan) bool
+	// Trace, if set, observes every expanded plan (diagnostics).
+	Trace func(*Plan)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPlans == 0 {
+		o.MaxPlans = 8
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 30000
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 10
+	}
+	if o.Candidates == 0 {
+		o.Candidates = 8
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 30 * time.Second
+	}
+	return o
+}
+
+// Result reports the search outcome.
+type Result struct {
+	Plans     []*Plan
+	Expanded  int
+	Generated int
+	Rejected  int // complete plans rejected by validation
+	TimedOut  bool
+}
+
+// planHeap orders plans by the paper's heuristics: fewest open
+// pre-conditions, then fewest deferred constraints, then fewest steps.
+type planHeap []*Plan
+
+func (h planHeap) Len() int { return len(h) }
+func (h planHeap) Less(i, j int) bool {
+	if len(h[i].Open) != len(h[j].Open) {
+		return len(h[i].Open) < len(h[j].Open)
+	}
+	if len(h[i].Demands) != len(h[j].Demands) {
+		return len(h[i].Demands) < len(h[j].Demands)
+	}
+	return len(h[i].Steps) < len(h[j].Steps)
+}
+func (h planHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *planHeap) Push(x any)   { *h = append(*h, x.(*Plan)) }
+func (h *planHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Search runs backward partial-order planning over the pool toward the
+// goal, returning up to MaxPlans distinct complete plans.
+func Search(pool *gadget.Pool, goal Goal, opts Options) *Result {
+	opts = opts.withDefaults()
+	res := &Result{}
+	deadline := time.Now().Add(opts.Timeout)
+
+	var q planHeap
+	for _, p := range seeds(pool, goal) {
+		heap.Push(&q, p)
+	}
+
+	found := make(map[string]bool)
+	// Partial-plan dedup: structurally identical search states (same gadget
+	// shapes, same open requirements) are explored once.
+	visited := make(map[string]bool)
+	// Diversity pressure: gadgets already appearing in accepted plans are
+	// deprioritized as producers, pushing the search toward structurally
+	// different chains (the paper: "Gadget-Planner does not stop when
+	// finding one gadget chain; it keeps searching for more diverse gadget
+	// chains").
+	uses := make(map[int]int)
+	for q.Len() > 0 && res.Expanded < opts.MaxNodes {
+		if res.Expanded%256 == 0 && time.Now().After(deadline) {
+			res.TimedOut = true
+			break
+		}
+		p := heap.Pop(&q).(*Plan)
+		res.Expanded++
+		if opts.Trace != nil {
+			opts.Trace(p)
+		}
+
+		if p.Complete() {
+			sig := p.Signature()
+			if found[sig] {
+				continue
+			}
+			if opts.Validate != nil && !opts.Validate(p) {
+				res.Rejected++
+				continue
+			}
+			found[sig] = true
+			res.Plans = append(res.Plans, p)
+			for _, g := range p.Chain() {
+				uses[g.ID]++
+			}
+			if len(res.Plans) >= opts.MaxPlans {
+				break
+			}
+			continue
+		}
+
+		for _, succ := range expand(pool, p, opts, uses) {
+			key := partialKey(succ)
+			if visited[key] {
+				continue
+			}
+			visited[key] = true
+			res.Generated++
+			heap.Push(&q, succ)
+		}
+	}
+	return res
+}
+
+// seeds builds one initial plan per usable syscall gadget (the backward
+// search starts from the attack's final state).
+func seeds(pool *gadget.Pool, goal Goal) []*Plan {
+	// Deterministic goal-register order.
+	regs := make([]isa.Reg, 0, len(goal.Regs))
+	for r := range goal.Regs {
+		regs = append(regs, r)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+
+	// Prefer simple syscall gadgets.
+	anchors := append([]*gadget.Gadget(nil), pool.Syscalls...)
+	sort.Slice(anchors, func(i, j int) bool {
+		if len(anchors[i].Effect.Conds) != len(anchors[j].Effect.Conds) {
+			return len(anchors[i].Effect.Conds) < len(anchors[j].Effect.Conds)
+		}
+		if anchors[i].NumInsts() != anchors[j].NumInsts() {
+			return anchors[i].NumInsts() < anchors[j].NumInsts()
+		}
+		return anchors[i].Location < anchors[j].Location
+	})
+	// Seed every anchor: the most useful ones (libc-style syscall wrappers
+	// that set argument registers internally) are long and would be crowded
+	// out by any shortest-first cap. Unworkable seeds die cheaply when a
+	// requirement has no producers.
+	if len(anchors) > 64 {
+		anchors = anchors[:64]
+	}
+
+	var out []*Plan
+	for _, sg := range anchors {
+		selfReqs, usable := stepEntryReqs(pool.Builder, sg)
+		if !usable {
+			continue
+		}
+		p := &Plan{
+			Steps:    []Step{{ID: 0}, {ID: 1, G: sg}},
+			goalStep: 1,
+		}
+		p.addOrder(0, 1)
+		ok := true
+		for _, r := range regs {
+			spec := goal.Regs[r]
+			e := sg.Effect.Regs[r]
+			if e == pool.Builder.Var(symex.RegVarName(r), 64) {
+				// Unchanged by the syscall gadget: require at its entry.
+				p.Open = append(p.Open, Requirement{Step: 1, Reg: r, Spec: spec})
+				continue
+			}
+			pr, provided := provides(pool.Builder, sg, r, spec)
+			if !provided {
+				ok = false
+				break
+			}
+			for _, rq := range pr.entryReqs {
+				p.Open = append(p.Open, Requirement{Step: 1, Reg: rq.reg, Spec: rq.spec})
+			}
+			for _, d := range pr.demands {
+				d.Step = 1
+				p.Demands = append(p.Demands, d)
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, rq := range selfReqs {
+			p.Open = append(p.Open, Requirement{Step: 1, Reg: rq.reg, Spec: rq.spec})
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// expand generates successor plans for the first open requirement.
+func expand(pool *gadget.Pool, p *Plan, opts Options, uses map[int]int) []*Plan {
+	req := p.Open[0]
+	rest := p.Open[1:]
+	var succs []*Plan
+
+	// Candidate 1: reuse an existing step that already supplies this value.
+	for i := range p.Steps {
+		s := &p.Steps[i]
+		if s.G == nil || s.ID == req.Step {
+			continue
+		}
+		if s.ID != p.goalStep && (s.G.Effect.End == symex.EndSyscall || s.G.Effect.StackDelta < 0) {
+			continue
+		}
+		if p.orderedBefore(req.Step, s.ID) {
+			continue // cannot be ordered before the consumer
+		}
+		if sp := linkedSpec(p, s.ID, req.Reg); sp != nil {
+			if !equalSpec(*sp, req.Spec) {
+				continue // the step is committed to a different value
+			}
+			succs = append(succs, applyProducer(pool, p, rest, req, s.ID, provideResult{})...)
+			continue
+		}
+		pr, ok := provides(pool.Builder, s.G, req.Reg, req.Spec)
+		if !ok {
+			continue
+		}
+		succs = append(succs, applyProducer(pool, p, rest, req, s.ID, pr)...)
+	}
+
+	// Candidate 2: instantiate a new gadget step.
+	if p.NumGadgets() < opts.MaxSteps {
+		cands := rankCandidates(pool, req, uses)
+		taken := 0
+		for _, g := range cands {
+			if taken >= opts.Candidates {
+				break
+			}
+			pr, ok := provides(pool.Builder, g, req.Reg, req.Spec)
+			if !ok {
+				continue
+			}
+			selfReqs, usable := stepEntryReqs(pool.Builder, g)
+			if !usable {
+				continue
+			}
+			succ := p.Clone()
+			succ.Open = append([]Requirement(nil), rest...)
+			id := len(succ.Steps)
+			succ.Steps = append(succ.Steps, Step{ID: id, G: g})
+			succ.addOrder(0, id)
+			// The syscall fires last; every other gadget precedes it.
+			if id != succ.goalStep {
+				succ.addOrder(id, succ.goalStep)
+			}
+			for _, rq := range selfReqs {
+				succ.Open = append(succ.Open, Requirement{Step: id, Reg: rq.reg, Spec: rq.spec})
+			}
+			if more := finishLink(pool, succ, req, id, pr); len(more) > 0 {
+				succs = append(succs, more...)
+				taken++
+			}
+		}
+	}
+	return succs
+}
+
+// partialKey identifies a search state by its gadget-shape multiset and its
+// open requirements, for duplicate pruning.
+func partialKey(p *Plan) string {
+	var sb strings.Builder
+	sb.WriteString(p.Signature())
+	sb.WriteByte('|')
+	reqs := make([]string, 0, len(p.Open))
+	for _, r := range p.Open {
+		shape := "start"
+		if g := p.step(r.Step).G; g != nil {
+			shape = gadgetShape(g)
+		}
+		reqs = append(reqs, shape+":"+r.Reg.String()+":"+r.Spec.String())
+	}
+	sort.Strings(reqs)
+	sb.WriteString(strings.Join(reqs, ","))
+	return sb.String()
+}
+
+// linkedSpec returns the spec a step is already committed to supply for reg.
+func linkedSpec(p *Plan, step int, reg isa.Reg) *ValueSpec {
+	for i := range p.Links {
+		if p.Links[i].Producer == step && p.Links[i].Reg == reg {
+			return &p.Links[i].Spec
+		}
+	}
+	return nil
+}
+
+// applyProducer links an existing step as the producer for req.
+func applyProducer(pool *gadget.Pool, p *Plan, rest []Requirement, req Requirement, producer int, pr provideResult) []*Plan {
+	succ := p.Clone()
+	succ.Open = append([]Requirement(nil), rest...)
+	return finishLink(pool, succ, req, producer, pr)
+}
+
+// finishLink installs the causal link and the producer's own new
+// requirements and demands, then resolves threats. Because each threat can
+// be resolved by demotion or promotion, the result is a (possibly empty)
+// set of consistent successor plans.
+func finishLink(pool *gadget.Pool, succ *Plan, req Requirement, producer int, pr provideResult) []*Plan {
+	for _, rq := range pr.entryReqs {
+		succ.Open = append(succ.Open, Requirement{Step: producer, Reg: rq.reg, Spec: rq.spec})
+	}
+	for _, d := range pr.demands {
+		d.Step = producer
+		// Skip if an identical demand is already recorded (spec reuse).
+		dup := false
+		for _, ex := range succ.Demands {
+			if ex.Step == d.Step && ex.Expr == d.Expr && equalSpec(ex.Spec, d.Spec) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			succ.Demands = append(succ.Demands, d)
+		}
+	}
+	if !succ.addOrder(producer, req.Step) {
+		return nil
+	}
+	link := Link{Producer: producer, Consumer: req.Step, Reg: req.Reg, Spec: req.Spec}
+	succ.Links = append(succ.Links, link)
+	return resolveThreats(succ, 2)
+}
+
+// firstUnresolvedThreat finds a step that clobbers some link's register and
+// could be ordered between that link's producer and consumer.
+func firstUnresolvedThreat(p *Plan) (threat int, link Link, found bool) {
+	for i := range p.Steps {
+		t := &p.Steps[i]
+		if t.G == nil {
+			continue
+		}
+		for _, l := range p.Links {
+			if t.ID == l.Producer || t.ID == l.Consumer {
+				continue
+			}
+			if !clobbers(t.G, l.Reg) {
+				continue
+			}
+			if p.orderedBefore(t.ID, l.Producer) || p.orderedBefore(l.Consumer, t.ID) {
+				continue // already safe
+			}
+			return t.ID, l, true
+		}
+	}
+	return 0, Link{}, false
+}
+
+// resolveThreats enumerates consistent orderings protecting every causal
+// link, branching on demotion (threat before producer) versus promotion
+// (threat after consumer), up to limit plans.
+func resolveThreats(p *Plan, limit int) []*Plan {
+	t, l, found := firstUnresolvedThreat(p)
+	if !found {
+		return []*Plan{p}
+	}
+	var out []*Plan
+	if q := p.Clone(); q.addOrder(t, l.Producer) {
+		out = append(out, resolveThreats(q, limit)...)
+	}
+	if len(out) < limit {
+		if q := p.Clone(); q.addOrder(l.Consumer, t) {
+			out = append(out, resolveThreats(q, limit-len(out))...)
+		}
+	}
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// rankCandidates orders the register-indexed gadgets by planning cost:
+// fewer pre-conditions, fewer clobbered registers (fewer threats), shorter.
+func rankCandidates(pool *gadget.Pool, req Requirement, uses map[int]int) []*gadget.Gadget {
+	// Syscall-terminated gadgets cannot continue a chain; they only anchor
+	// plans as the goal step.
+	cands := make([]*gadget.Gadget, 0, len(pool.ByReg[req.Reg]))
+	for _, g := range pool.ByReg[req.Reg] {
+		// Negative-delta gadgets sink the chain cursor below the payload,
+		// making every later gadget read victim stack.
+		if g.Effect.End != symex.EndSyscall && g.Effect.StackDelta >= 0 {
+			cands = append(cands, g)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if uses[a.ID] != uses[b.ID] {
+			return uses[a.ID] < uses[b.ID] // diversity first
+		}
+		if len(a.Effect.Conds) != len(b.Effect.Conds) {
+			return len(a.Effect.Conds) < len(b.Effect.Conds)
+		}
+		if len(a.ClobRegs) != len(b.ClobRegs) {
+			return len(a.ClobRegs) < len(b.ClobRegs)
+		}
+		if a.NumInsts() != b.NumInsts() {
+			return a.NumInsts() < b.NumInsts()
+		}
+		return a.Location < b.Location
+	})
+	return cands
+}

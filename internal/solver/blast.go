@@ -1,0 +1,452 @@
+package solver
+
+import (
+	"fmt"
+
+	"github.com/nofreelunch/gadget-planner/internal/expr"
+)
+
+// blaster lowers expr nodes to CNF over a satSolver.
+type blaster struct {
+	sat     *satSolver
+	bv      map[uint32][]lit // bitvector node -> bits, LSB first
+	bl      map[uint32]lit   // boolean node -> literal
+	trueLit lit
+	vars    map[string][]lit // bitvector variable name -> bits
+}
+
+func newBlaster(sat *satSolver) *blaster {
+	b := &blaster{
+		sat:  sat,
+		bv:   make(map[uint32][]lit),
+		bl:   make(map[uint32]lit),
+		vars: make(map[string][]lit),
+	}
+	v := sat.newVar()
+	b.trueLit = mkLit(v, false)
+	sat.addClause([]lit{b.trueLit})
+	return b
+}
+
+func (b *blaster) falseLit() lit { return b.trueLit.not() }
+
+func (b *blaster) constLit(v bool) lit {
+	if v {
+		return b.trueLit
+	}
+	return b.falseLit()
+}
+
+func (b *blaster) fresh() lit { return mkLit(b.sat.newVar(), false) }
+
+// Gate encodings (Tseitin).
+
+func (b *blaster) andGate(x, y lit) lit {
+	if x == b.trueLit {
+		return y
+	}
+	if y == b.trueLit {
+		return x
+	}
+	if x == b.falseLit() || y == b.falseLit() {
+		return b.falseLit()
+	}
+	if x == y {
+		return x
+	}
+	if x == y.not() {
+		return b.falseLit()
+	}
+	o := b.fresh()
+	b.sat.addClause([]lit{x.not(), y.not(), o})
+	b.sat.addClause([]lit{x, o.not()})
+	b.sat.addClause([]lit{y, o.not()})
+	return o
+}
+
+func (b *blaster) orGate(x, y lit) lit {
+	return b.andGate(x.not(), y.not()).not()
+}
+
+func (b *blaster) xorGate(x, y lit) lit {
+	if x == b.falseLit() {
+		return y
+	}
+	if y == b.falseLit() {
+		return x
+	}
+	if x == b.trueLit {
+		return y.not()
+	}
+	if y == b.trueLit {
+		return x.not()
+	}
+	if x == y {
+		return b.falseLit()
+	}
+	if x == y.not() {
+		return b.trueLit
+	}
+	o := b.fresh()
+	b.sat.addClause([]lit{x.not(), y.not(), o.not()})
+	b.sat.addClause([]lit{x, y, o.not()})
+	b.sat.addClause([]lit{x.not(), y, o})
+	b.sat.addClause([]lit{x, y.not(), o})
+	return o
+}
+
+// muxGate returns s ? x : y.
+func (b *blaster) muxGate(s, x, y lit) lit {
+	if s == b.trueLit {
+		return x
+	}
+	if s == b.falseLit() {
+		return y
+	}
+	if x == y {
+		return x
+	}
+	o := b.fresh()
+	b.sat.addClause([]lit{s.not(), x.not(), o})
+	b.sat.addClause([]lit{s.not(), x, o.not()})
+	b.sat.addClause([]lit{s, y.not(), o})
+	b.sat.addClause([]lit{s, y, o.not()})
+	return o
+}
+
+// fullAdder returns (sum, carryOut).
+func (b *blaster) fullAdder(x, y, cin lit) (lit, lit) {
+	s := b.xorGate(b.xorGate(x, y), cin)
+	c := b.orGate(b.andGate(x, y), b.andGate(cin, b.xorGate(x, y)))
+	return s, c
+}
+
+// addBits returns x + y + cin (dropping the final carry) and the carry-out.
+func (b *blaster) addBits(x, y []lit, cin lit) ([]lit, lit) {
+	out := make([]lit, len(x))
+	c := cin
+	for i := range x {
+		out[i], c = b.fullAdder(x[i], y[i], c)
+	}
+	return out, c
+}
+
+func (b *blaster) notBits(x []lit) []lit {
+	out := make([]lit, len(x))
+	for i, l := range x {
+		out[i] = l.not()
+	}
+	return out
+}
+
+func (b *blaster) constBits(v uint64, w uint8) []lit {
+	out := make([]lit, w)
+	for i := uint8(0); i < w; i++ {
+		out[i] = b.constLit(v>>i&1 == 1)
+	}
+	return out
+}
+
+// shiftBits builds a barrel shifter. kind: 0 shl, 1 lshr, 2 ashr. The shift
+// amount is y mod width (matching expr semantics).
+func (b *blaster) shiftBits(x, y []lit, kind int) []lit {
+	w := len(x)
+	stages := 0
+	for 1<<stages < w {
+		stages++
+	}
+	cur := x
+	for s := 0; s < stages; s++ {
+		amt := 1 << s
+		next := make([]lit, w)
+		for i := 0; i < w; i++ {
+			var shifted lit
+			switch kind {
+			case 0: // shl
+				if i >= amt {
+					shifted = cur[i-amt]
+				} else {
+					shifted = b.falseLit()
+				}
+			case 1: // lshr
+				if i+amt < w {
+					shifted = cur[i+amt]
+				} else {
+					shifted = b.falseLit()
+				}
+			default: // ashr
+				if i+amt < w {
+					shifted = cur[i+amt]
+				} else {
+					shifted = cur[w-1]
+				}
+			}
+			next[i] = b.muxGate(y[s], shifted, cur[i])
+		}
+		cur = next
+	}
+	return cur
+}
+
+// mulBits builds a shift-add multiplier.
+func (b *blaster) mulBits(x, y []lit) []lit {
+	w := len(x)
+	acc := b.constBits(0, uint8(w))
+	for i := 0; i < w; i++ {
+		// partial = (x << i) AND y[i].
+		partial := make([]lit, w)
+		for j := 0; j < w; j++ {
+			if j < i {
+				partial[j] = b.falseLit()
+			} else {
+				partial[j] = b.andGate(x[j-i], y[i])
+			}
+		}
+		acc, _ = b.addBits(acc, partial, b.falseLit())
+	}
+	return acc
+}
+
+// eqBits returns a literal asserting x == y.
+func (b *blaster) eqBits(x, y []lit) lit {
+	out := b.trueLit
+	for i := range x {
+		out = b.andGate(out, b.xorGate(x[i], y[i]).not())
+	}
+	return out
+}
+
+// ultBits returns the literal for unsigned x < y.
+func (b *blaster) ultBits(x, y []lit) lit {
+	// x < y  iff  no carry out of x + ~y + 1.
+	_, carry := b.addBits(x, b.notBits(y), b.trueLit)
+	return carry.not()
+}
+
+func (b *blaster) sltBits(x, y []lit) lit {
+	w := len(x)
+	sx, sy := x[w-1], y[w-1]
+	diffSign := b.xorGate(sx, sy)
+	// Different signs: x < y iff x negative. Same signs: unsigned compare.
+	return b.muxGate(diffSign, sx, b.ultBits(x, y))
+}
+
+// bits lowers a bitvector node.
+func (b *blaster) bits(n *expr.Node) ([]lit, error) {
+	if got, ok := b.bv[n.ID()]; ok {
+		return got, nil
+	}
+	out, err := b.bitsUncached(n)
+	if err != nil {
+		return nil, err
+	}
+	b.bv[n.ID()] = out
+	return out, nil
+}
+
+func (b *blaster) bitsUncached(n *expr.Node) ([]lit, error) {
+	switch n.Kind {
+	case expr.KindConst:
+		return b.constBits(n.Val, n.Width), nil
+	case expr.KindVar:
+		if got, ok := b.vars[n.Name]; ok {
+			return got, nil
+		}
+		out := make([]lit, n.Width)
+		for i := range out {
+			out[i] = b.fresh()
+		}
+		b.vars[n.Name] = out
+		return out, nil
+	}
+
+	switch n.Kind {
+	case expr.KindNot, expr.KindNeg, expr.KindZext, expr.KindSext, expr.KindTrunc:
+		x, err := b.bits(n.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		switch n.Kind {
+		case expr.KindNot:
+			return b.notBits(x), nil
+		case expr.KindNeg:
+			out, _ := b.addBits(b.notBits(x), b.constBits(1, uint8(len(x))), b.falseLit())
+			return out, nil
+		case expr.KindZext:
+			out := append(append([]lit(nil), x...), b.constBits(0, n.Width-uint8(len(x)))...)
+			return out, nil
+		case expr.KindSext:
+			out := append([]lit(nil), x...)
+			for uint8(len(out)) < n.Width {
+				out = append(out, x[len(x)-1])
+			}
+			return out, nil
+		default: // Trunc
+			return append([]lit(nil), x[:n.Width]...), nil
+		}
+
+	case expr.KindIte:
+		c, err := b.boolLit(n.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		x, err := b.bits(n.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		y, err := b.bits(n.Args[2])
+		if err != nil {
+			return nil, err
+		}
+		out := make([]lit, len(x))
+		for i := range x {
+			out[i] = b.muxGate(c, x[i], y[i])
+		}
+		return out, nil
+	}
+
+	x, err := b.bits(n.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	y, err := b.bits(n.Args[1])
+	if err != nil {
+		return nil, err
+	}
+	switch n.Kind {
+	case expr.KindAdd:
+		out, _ := b.addBits(x, y, b.falseLit())
+		return out, nil
+	case expr.KindSub:
+		out, _ := b.addBits(x, b.notBits(y), b.trueLit)
+		return out, nil
+	case expr.KindMul:
+		return b.mulBits(x, y), nil
+	case expr.KindAnd:
+		out := make([]lit, len(x))
+		for i := range x {
+			out[i] = b.andGate(x[i], y[i])
+		}
+		return out, nil
+	case expr.KindOr:
+		out := make([]lit, len(x))
+		for i := range x {
+			out[i] = b.orGate(x[i], y[i])
+		}
+		return out, nil
+	case expr.KindXor:
+		out := make([]lit, len(x))
+		for i := range x {
+			out[i] = b.xorGate(x[i], y[i])
+		}
+		return out, nil
+	case expr.KindShl:
+		return b.shiftBits(x, y, 0), nil
+	case expr.KindLshr:
+		return b.shiftBits(x, y, 1), nil
+	case expr.KindAshr:
+		return b.shiftBits(x, y, 2), nil
+	}
+	return nil, fmt.Errorf("solver: cannot blast bitvector kind %d", n.Kind)
+}
+
+// boolLit lowers a boolean node to a single literal.
+func (b *blaster) boolLit(n *expr.Node) (lit, error) {
+	if n.Width != expr.BoolWidth {
+		return 0, fmt.Errorf("solver: boolLit on width-%d node", n.Width)
+	}
+	if got, ok := b.bl[n.ID()]; ok {
+		return got, nil
+	}
+	out, err := b.boolLitUncached(n)
+	if err != nil {
+		return 0, err
+	}
+	b.bl[n.ID()] = out
+	return out, nil
+}
+
+func (b *blaster) boolLitUncached(n *expr.Node) (lit, error) {
+	switch n.Kind {
+	case expr.KindConst:
+		return b.constLit(n.Val == 1), nil
+	case expr.KindVar:
+		if got, ok := b.vars[n.Name]; ok {
+			return got[0], nil
+		}
+		l := b.fresh()
+		b.vars[n.Name] = []lit{l}
+		return l, nil
+	case expr.KindBNot:
+		x, err := b.boolLit(n.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		return x.not(), nil
+	case expr.KindBAnd, expr.KindBOr:
+		x, err := b.boolLit(n.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		y, err := b.boolLit(n.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		if n.Kind == expr.KindBAnd {
+			return b.andGate(x, y), nil
+		}
+		return b.orGate(x, y), nil
+	case expr.KindEq, expr.KindUlt, expr.KindSlt:
+		x, err := b.bits(n.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		y, err := b.bits(n.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		switch n.Kind {
+		case expr.KindEq:
+			return b.eqBits(x, y), nil
+		case expr.KindUlt:
+			return b.ultBits(x, y), nil
+		default:
+			return b.sltBits(x, y), nil
+		}
+	case expr.KindIte:
+		c, err := b.boolLit(n.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		x, err := b.boolLit(n.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		y, err := b.boolLit(n.Args[2])
+		if err != nil {
+			return 0, err
+		}
+		return b.muxGate(c, x, y), nil
+	}
+	return 0, fmt.Errorf("solver: cannot blast boolean kind %d", n.Kind)
+}
+
+// model extracts concrete variable values after a SAT result.
+func (b *blaster) model(varWidths map[string]uint8) expr.Env {
+	env := make(expr.Env, len(b.vars))
+	for name, bits := range b.vars {
+		var v uint64
+		for i, l := range bits {
+			bitVal := b.sat.modelValue(l.variable())
+			if l.negated() {
+				bitVal = !bitVal
+			}
+			if bitVal {
+				v |= 1 << i
+			}
+		}
+		env[name] = v
+		_ = varWidths
+	}
+	return env
+}

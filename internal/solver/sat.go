@@ -1,0 +1,579 @@
+// Package solver decides satisfiability, implication, and equivalence of
+// expr formulas. It is the repository's Z3 stand-in: formulas are bit-blasted
+// to CNF (Tseitin encoding with ripple-carry adders, shift-add multipliers,
+// barrel shifters and comparators) and decided by a CDCL SAT solver with
+// two-literal watching, VSIDS branching, first-UIP clause learning and
+// geometric restarts.
+package solver
+
+// Literal encoding: variables are numbered from 1; the literal for variable v
+// is v<<1 (positive) or v<<1|1 (negated).
+type lit int32
+
+func mkLit(v int32, neg bool) lit {
+	l := lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+func (l lit) variable() int32 { return int32(l >> 1) }
+func (l lit) negated() bool   { return l&1 == 1 }
+func (l lit) not() lit        { return l ^ 1 }
+
+// value of an assignment.
+type tribool int8
+
+const (
+	unassigned tribool = iota
+	vTrue
+	vFalse
+)
+
+func (t tribool) not() tribool {
+	switch t {
+	case vTrue:
+		return vFalse
+	case vFalse:
+		return vTrue
+	}
+	return unassigned
+}
+
+// clause is a disjunction of literals. The first two literals are watched.
+type clause struct {
+	lits     []lit
+	learned  bool
+	activity float64
+}
+
+// satSolver is a CDCL SAT solver.
+type satSolver struct {
+	clauses []*clause
+	learned []*clause
+	watches [][]*clause // indexed by literal
+
+	assign  []tribool // indexed by variable
+	level   []int32
+	reason  []*clause
+	trail   []lit
+	trailLo []int32 // decision-level boundaries in trail
+	qhead   int
+
+	activity []float64
+	varInc   float64
+	heap     *varHeap
+	polarity []bool // phase saving
+
+	clauseInc   float64
+	maxLearned  int
+	conflicts   int64
+	propagation int64
+
+	ok bool // false once a top-level contradiction is found
+}
+
+func newSAT() *satSolver {
+	s := &satSolver{
+		varInc:     1,
+		clauseInc:  1,
+		maxLearned: 4096,
+		ok:         true,
+	}
+	s.heap = newVarHeap(&s.activity)
+	s.newVar() // variable 0 is unused padding
+	return s
+}
+
+// newVar allocates a fresh variable.
+func (s *satSolver) newVar() int32 {
+	v := int32(len(s.assign))
+	s.assign = append(s.assign, unassigned)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.polarity = append(s.polarity, false)
+	s.watches = append(s.watches, nil, nil)
+	if v != 0 {
+		s.heap.push(v)
+	}
+	return v
+}
+
+func (s *satSolver) valueLit(l lit) tribool {
+	v := s.assign[l.variable()]
+	if v == unassigned {
+		return unassigned
+	}
+	if l.negated() {
+		return v.not()
+	}
+	return v
+}
+
+func (s *satSolver) decisionLevel() int32 { return int32(len(s.trailLo)) }
+
+// addClause installs a problem clause, simplifying against top-level
+// assignments. Returns false if the formula became trivially unsat.
+func (s *satSolver) addClause(lits []lit) bool {
+	if !s.ok {
+		return false
+	}
+	// Deduplicate and drop tautologies / false literals at level 0.
+	seen := make(map[lit]bool, len(lits))
+	out := lits[:0:0]
+	for _, l := range lits {
+		switch {
+		case s.valueLit(l) == vTrue && s.level[l.variable()] == 0:
+			return true // already satisfied
+		case s.valueLit(l) == vFalse && s.level[l.variable()] == 0:
+			continue // cannot help
+		case seen[l.not()]:
+			return true // tautology
+		case seen[l]:
+			continue
+		}
+		seen[l] = true
+		out = append(out, l)
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if !s.enqueue(out[0], nil) {
+			s.ok = false
+			return false
+		}
+		return s.propagate() == nil
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.watch(c)
+	return true
+}
+
+func (s *satSolver) watch(c *clause) {
+	s.watches[c.lits[0].not()] = append(s.watches[c.lits[0].not()], c)
+	s.watches[c.lits[1].not()] = append(s.watches[c.lits[1].not()], c)
+}
+
+// enqueue assigns a literal true with the given reason clause.
+func (s *satSolver) enqueue(l lit, from *clause) bool {
+	switch s.valueLit(l) {
+	case vTrue:
+		return true
+	case vFalse:
+		return false
+	}
+	v := l.variable()
+	if l.negated() {
+		s.assign[v] = vFalse
+	} else {
+		s.assign[v] = vTrue
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate performs unit propagation; returns a conflicting clause or nil.
+func (s *satSolver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		l := s.trail[s.qhead]
+		s.qhead++
+		s.propagation++
+
+		ws := s.watches[l]
+		s.watches[l] = ws[:0]
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			// Ensure the false literal is lits[1].
+			if c.lits[0] == l.not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.valueLit(c.lits[0]) == vTrue {
+				s.watches[l] = append(s.watches[l], c)
+				continue
+			}
+			// Look for a new literal to watch.
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.valueLit(c.lits[k]) != vFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].not()] = append(s.watches[c.lits[1].not()], c)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// Clause is unit or conflicting.
+			s.watches[l] = append(s.watches[l], c)
+			if !s.enqueue(c.lits[0], c) {
+				// Conflict: restore remaining watches and report.
+				s.watches[l] = append(s.watches[l], ws[i+1:]...)
+				s.qhead = len(s.trail)
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// analyze computes a first-UIP learned clause and a backtrack level.
+func (s *satSolver) analyze(confl *clause) ([]lit, int32) {
+	learnt := []lit{0} // placeholder for the asserting literal
+	seen := make(map[int32]bool)
+	counter := 0
+	var p lit = -1
+	idx := len(s.trail) - 1
+
+	for {
+		for _, q := range confl.lits {
+			if p != -1 && q == p {
+				continue
+			}
+			v := q.variable()
+			if seen[v] || s.level[v] == 0 {
+				continue
+			}
+			seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find the next marked literal on the trail.
+		for !seen[s.trail[idx].variable()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.variable()
+		seen[v] = false
+		counter--
+		if counter == 0 {
+			learnt[0] = p.not()
+			break
+		}
+		confl = s.reason[v]
+	}
+
+	// Compute backtrack level: the max level among the non-asserting lits.
+	btLevel := int32(0)
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].variable()] > s.level[learnt[maxI].variable()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = s.level[learnt[1].variable()]
+	}
+	return learnt, btLevel
+}
+
+func (s *satSolver) bumpVar(v int32) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.heap.update(v)
+}
+
+func (s *satSolver) decayActivities() {
+	s.varInc /= 0.95
+	s.clauseInc /= 0.999
+}
+
+// backtrackTo undoes assignments above the given level.
+func (s *satSolver) backtrackTo(level int32) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLo[level]
+	for i := len(s.trail) - 1; i >= int(bound); i-- {
+		l := s.trail[i]
+		v := l.variable()
+		s.polarity[v] = !l.negated()
+		s.assign[v] = unassigned
+		s.reason[v] = nil
+		s.heap.pushIfAbsent(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLo = s.trailLo[:level]
+	s.qhead = len(s.trail)
+}
+
+// pickBranchVar selects the unassigned variable with highest activity.
+func (s *satSolver) pickBranchVar() int32 {
+	for s.heap.size() > 0 {
+		v := s.heap.pop()
+		if s.assign[v] == unassigned {
+			return v
+		}
+	}
+	return 0
+}
+
+// reduceLearned removes the least active half of the learned clauses that
+// are not currently reasons.
+func (s *satSolver) reduceLearned() {
+	if len(s.learned) < s.maxLearned {
+		return
+	}
+	// Sort learned clauses by activity (simple selection: median split via
+	// counting would be overkill; copy-sort).
+	sorted := append([]*clause(nil), s.learned...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].activity < sorted[j-1].activity; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	locked := make(map[*clause]bool)
+	for _, r := range s.reason {
+		if r != nil {
+			locked[r] = true
+		}
+	}
+	remove := make(map[*clause]bool)
+	for _, c := range sorted[:len(sorted)/2] {
+		if !locked[c] && len(c.lits) > 2 {
+			remove[c] = true
+		}
+	}
+	if len(remove) == 0 {
+		return
+	}
+	kept := s.learned[:0]
+	for _, c := range s.learned {
+		if !remove[c] {
+			kept = append(kept, c)
+		}
+	}
+	s.learned = kept
+	for li := range s.watches {
+		ws := s.watches[li][:0]
+		for _, c := range s.watches[li] {
+			if !remove[c] {
+				ws = append(ws, c)
+			}
+		}
+		s.watches[li] = ws
+	}
+}
+
+// solveResult is the outcome of a solve call.
+type solveResult int8
+
+const (
+	resUnknown solveResult = iota
+	resSat
+	resUnsat
+)
+
+// solve runs CDCL search under the given assumptions with a conflict budget.
+func (s *satSolver) solve(assumptions []lit, maxConflicts int64) solveResult {
+	if !s.ok {
+		return resUnsat
+	}
+	s.backtrackTo(0)
+	if s.propagate() != nil {
+		s.ok = false
+		return resUnsat
+	}
+
+	restartLimit := int64(100)
+	conflictsAtStart := s.conflicts
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.conflicts++
+			if s.decisionLevel() == 0 {
+				return resUnsat
+			}
+			// Conflict below the assumption levels means the assumptions
+			// themselves are inconsistent with the formula.
+			learnt, btLevel := s.analyze(confl)
+			if int(btLevel) < len(assumptions) {
+				btLevel = int32(len(assumptions))
+				if s.decisionLevel() <= btLevel {
+					return resUnsat
+				}
+			}
+			s.backtrackTo(btLevel)
+			if len(learnt) == 1 {
+				s.backtrackTo(0)
+				if !s.enqueue(learnt[0], nil) {
+					s.ok = false
+					return resUnsat
+				}
+				// Re-assert assumptions on the next loop iterations.
+				if r := s.reassume(assumptions); r != resUnknown {
+					return r
+				}
+				continue
+			}
+			c := &clause{lits: learnt, learned: true, activity: s.clauseInc}
+			s.learned = append(s.learned, c)
+			s.watch(c)
+			if !s.enqueue(learnt[0], c) {
+				return resUnsat
+			}
+			s.decayActivities()
+			if s.conflicts-conflictsAtStart > maxConflicts {
+				return resUnknown
+			}
+			if s.conflicts%restartLimit == 0 {
+				restartLimit = restartLimit * 3 / 2
+				s.backtrackTo(int32(len(assumptions)))
+				if r := s.reassume(assumptions); r != resUnknown {
+					return r
+				}
+			}
+			s.reduceLearned()
+			continue
+		}
+
+		// Assert pending assumptions, one decision level each.
+		if int(s.decisionLevel()) < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.valueLit(a) {
+			case vTrue:
+				// Already implied: introduce an empty decision level.
+				s.trailLo = append(s.trailLo, int32(len(s.trail)))
+			case vFalse:
+				return resUnsat
+			default:
+				s.trailLo = append(s.trailLo, int32(len(s.trail)))
+				s.enqueue(a, nil)
+			}
+			continue
+		}
+
+		v := s.pickBranchVar()
+		if v == 0 {
+			return resSat
+		}
+		s.trailLo = append(s.trailLo, int32(len(s.trail)))
+		s.enqueue(mkLit(v, !s.polarity[v]), nil)
+	}
+}
+
+// reassume replays assumptions after a restart or unit backjump. It returns
+// resUnsat if an assumption is already false, resUnknown otherwise.
+func (s *satSolver) reassume(assumptions []lit) solveResult {
+	for int(s.decisionLevel()) < len(assumptions) {
+		if c := s.propagate(); c != nil {
+			if s.decisionLevel() == 0 {
+				s.ok = false
+			}
+			return resUnsat
+		}
+		a := assumptions[s.decisionLevel()]
+		if s.valueLit(a) == vFalse {
+			return resUnsat
+		}
+		s.trailLo = append(s.trailLo, int32(len(s.trail)))
+		s.enqueue(a, nil)
+	}
+	return resUnknown
+}
+
+// modelValue returns the assignment of a variable after resSat.
+func (s *satSolver) modelValue(v int32) bool {
+	return s.assign[v] == vTrue
+}
+
+// varHeap is a max-heap of variables ordered by activity.
+type varHeap struct {
+	heap     []int32
+	indices  map[int32]int
+	activity *[]float64
+}
+
+func newVarHeap(act *[]float64) *varHeap {
+	return &varHeap{indices: make(map[int32]int), activity: act}
+}
+
+func (h *varHeap) size() int { return len(h.heap) }
+
+func (h *varHeap) less(i, j int) bool {
+	return (*h.activity)[h.heap[i]] > (*h.activity)[h.heap[j]]
+}
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.indices[h.heap[i]] = i
+	h.indices[h.heap[j]] = j
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.heap) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.heap) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *varHeap) push(v int32) {
+	h.heap = append(h.heap, v)
+	h.indices[v] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pushIfAbsent(v int32) {
+	if _, ok := h.indices[v]; !ok {
+		h.push(v)
+	}
+}
+
+func (h *varHeap) pop() int32 {
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	delete(h.indices, v)
+	if last > 0 {
+		h.down(0)
+	}
+	return v
+}
+
+func (h *varHeap) update(v int32) {
+	if i, ok := h.indices[v]; ok {
+		h.up(i)
+	}
+}

@@ -1,0 +1,155 @@
+package solver
+
+import (
+	"github.com/nofreelunch/gadget-planner/internal/expr"
+)
+
+// Result is the outcome of a satisfiability check.
+type Result int
+
+// Check outcomes.
+const (
+	Unknown Result = iota
+	Sat
+	Unsat
+)
+
+// String returns the conventional lower-case name.
+func (r Result) String() string {
+	switch r {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// Options tune the solver.
+type Options struct {
+	// MaxConflicts bounds CDCL search effort per query; exceeded queries
+	// return Unknown. Zero selects a generous default.
+	MaxConflicts int64
+}
+
+// Solver answers satisfiability, implication, and equivalence queries over
+// expr formulas. A Solver is stateless between queries and safe to reuse;
+// it is not safe for concurrent use.
+type Solver struct {
+	opts Options
+
+	// Queries and Conflicts accumulate statistics across calls.
+	Queries   int64
+	Conflicts int64
+}
+
+// New returns a solver with the given options.
+func New(opts Options) *Solver {
+	if opts.MaxConflicts == 0 {
+		opts.MaxConflicts = 200_000
+	}
+	return &Solver{opts: opts}
+}
+
+// Default returns a solver with default options.
+func Default() *Solver { return New(Options{}) }
+
+// Check decides the conjunction of the given boolean formulas. On Sat it
+// returns a model assigning every variable occurring in the formulas.
+func (s *Solver) Check(formulas ...*expr.Node) (Result, expr.Env) {
+	s.Queries++
+
+	// Fast path: simplification may have already decided each conjunct.
+	allTrue := true
+	for _, f := range formulas {
+		v, ok := f.IsBoolConst()
+		if !ok {
+			allTrue = false
+			break
+		}
+		if !v {
+			return Unsat, nil
+		}
+		_ = v
+	}
+	if allTrue {
+		return Sat, expr.Env{}
+	}
+
+	sat := newSAT()
+	bl := newBlaster(sat)
+	for _, f := range formulas {
+		l, err := bl.boolLit(f)
+		if err != nil {
+			return Unknown, nil
+		}
+		if !sat.addClause([]lit{l}) {
+			return Unsat, nil
+		}
+	}
+	before := sat.conflicts
+	res := sat.solve(nil, s.opts.MaxConflicts)
+	s.Conflicts += sat.conflicts - before
+	switch res {
+	case resSat:
+		return Sat, bl.model(nil)
+	case resUnsat:
+		return Unsat, nil
+	default:
+		return Unknown, nil
+	}
+}
+
+// Sat reports whether the conjunction of formulas is satisfiable, treating
+// Unknown as satisfiable (the safe direction for pruning).
+func (s *Solver) Sat(formulas ...*expr.Node) bool {
+	r, _ := s.Check(formulas...)
+	return r != Unsat
+}
+
+// Valid reports whether f holds in every model (its negation is Unsat).
+// Unknown results report false.
+func (s *Solver) Valid(b *expr.Builder, f *expr.Node) bool {
+	r, _ := s.Check(b.BNot(f))
+	return r == Unsat
+}
+
+// Implies reports whether p logically entails q: p && !q is Unsat.
+// Unknown results report false.
+func (s *Solver) Implies(b *expr.Builder, p, q *expr.Node) bool {
+	r, _ := s.Check(p, b.BNot(q))
+	return r == Unsat
+}
+
+// EquivalentBV reports whether two bitvector terms are equal in every model.
+func (s *Solver) EquivalentBV(b *expr.Builder, x, y *expr.Node) bool {
+	if x == y {
+		return true
+	}
+	if x.Width != y.Width {
+		return false
+	}
+	r, _ := s.Check(b.BNot(b.Eq(x, y)))
+	return r == Unsat
+}
+
+// EquivalentBool reports whether two boolean formulas agree in every model.
+func (s *Solver) EquivalentBool(b *expr.Builder, p, q *expr.Node) bool {
+	if p == q {
+		return true
+	}
+	r, _ := s.Check(b.BNot(b.Eq(b.Ite(p, b.Const(1, 8), b.Const(0, 8)),
+		b.Ite(q, b.Const(1, 8), b.Const(0, 8)))))
+	return r == Unsat
+}
+
+// Solve finds a model of the conjunction restricted to the named variables,
+// or nil if Unsat/Unknown.
+func (s *Solver) Solve(formulas ...*expr.Node) expr.Env {
+	r, env := s.Check(formulas...)
+	if r != Sat {
+		return nil
+	}
+	return env
+}

@@ -1,0 +1,437 @@
+// Package symex symbolically executes short straight-line x86-64 instruction
+// sequences (gadget candidates) and produces their pre- and post-conditions
+// as expr formulas, mirroring the role angr's symbolic execution plays in the
+// paper.
+//
+// The model follows the paper's restrictions (Section IV-B): register state
+// is fully symbolic; memory accesses must be stack-relative (a constant
+// offset from the entry rsp) — anything else makes the gadget unsupported;
+// values read from untouched stack slots become fresh "stack input"
+// variables, which are exactly the attacker-controlled payload cells.
+package symex
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/nofreelunch/gadget-planner/internal/expr"
+	"github.com/nofreelunch/gadget-planner/internal/isa"
+)
+
+// ErrUnsupported marks gadget candidates whose semantics the executor
+// cannot (or deliberately does not) model: non-stack memory access,
+// overlapping stack stores, division, and similar.
+var ErrUnsupported = errors.New("symex: unsupported gadget semantics")
+
+func unsupported(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrUnsupported, fmt.Sprintf(format, args...))
+}
+
+// RegVarName is the variable naming convention for initial register values:
+// "rax0", "rbx0", ...
+func RegVarName(r isa.Reg) string { return r.String() + "0" }
+
+// StackVarName names the attacker-controllable value read from the stack at
+// the given byte offset from the entry rsp.
+func StackVarName(off int64) string {
+	if off < 0 {
+		return "stk_m" + strconv.FormatInt(-off, 10)
+	}
+	return "stk_" + strconv.FormatInt(off, 10)
+}
+
+// ParseStackVar recovers the offset from a stack variable name.
+func ParseStackVar(name string) (int64, bool) {
+	rest, ok := strings.CutPrefix(name, "stk_")
+	if !ok {
+		return 0, false
+	}
+	neg := false
+	if strings.HasPrefix(rest, "m") {
+		neg, rest = true, rest[1:]
+	}
+	v, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// IsRegVar reports whether a variable name denotes an initial register value.
+func IsRegVar(name string) (isa.Reg, bool) {
+	base, ok := strings.CutSuffix(name, "0")
+	if !ok {
+		return 0, false
+	}
+	return isa.RegByName(base)
+}
+
+// DerefVarName names the unconstrained value obtained by dereferencing
+// attacker-controlled memory (paper Section IV-B: "the variable is left
+// unconstrained so that it is free to take on whatever value is necessary").
+func DerefVarName(k int) string { return "dm_" + strconv.Itoa(k) }
+
+// IsDerefVar reports whether a variable denotes a controlled-memory read.
+func IsDerefVar(name string) bool { return strings.HasPrefix(name, "dm_") }
+
+// IsAttackerVar reports whether the variable is attacker-chosen: a stack
+// payload cell or a controlled-memory read.
+func IsAttackerVar(name string) bool {
+	if IsDerefVar(name) {
+		return true
+	}
+	_, ok := ParseStackVar(name)
+	return ok
+}
+
+// Step is one instruction on a chosen path. Taken matters only for
+// conditional jumps that are not the final instruction of the gadget.
+type Step struct {
+	Inst  isa.Inst
+	Taken bool
+}
+
+// stackCell is one store to the symbolic stack.
+type stackCell struct {
+	val  *expr.Node // 64-bit value (masked to size on read)
+	size uint8
+}
+
+// State is the symbolic machine state during gadget execution.
+type State struct {
+	B    *expr.Builder
+	Regs [isa.NumRegs]*expr.Node
+
+	// Flags as boolean nodes.
+	ZF, SF, OF, CF, PF *expr.Node
+
+	writes map[int64]stackCell // stack stores, keyed by byte offset from rsp0
+	inputs map[int64]uint8     // fresh stack reads: offset -> size
+
+	// memReads/memWrites record dereferences of non-stack addresses whose
+	// address expression is attacker-determined (e.g. [rbp-8] after a pop
+	// rbp). Reads yield fresh unconstrained variables.
+	memReads  []MemAccess
+	memWrites []MemAccess
+
+	conds   []*expr.Node // accumulated path conditions
+	nextRIP *expr.Node   // set once the terminal branch executes
+	endKind EndKind
+	opaque  int // counter for opaque flag variables
+}
+
+// MemAccess is one controlled-memory dereference.
+type MemAccess struct {
+	// Addr is the effective-address expression over entry state.
+	Addr *expr.Node
+	// Val is the fresh dm_* variable (reads) or the stored value (writes).
+	Val *expr.Node
+	// Size is the access width in bytes.
+	Size uint8
+}
+
+// EndKind classifies how the gadget transfers control at its end.
+type EndKind uint8
+
+// Gadget terminations.
+const (
+	EndNone    EndKind = iota
+	EndRet             // ret: next RIP popped from the stack
+	EndJmpInd          // jmp reg/mem
+	EndCallInd         // call reg/mem (also pushes a return address)
+	EndJmpDir          // jmp imm (only before merging)
+	EndSyscall         // syscall: terminal for attack goals
+)
+
+var _endKindNames = map[EndKind]string{
+	EndNone: "none", EndRet: "ret", EndJmpInd: "jmp-ind",
+	EndCallInd: "call-ind", EndJmpDir: "jmp-dir", EndSyscall: "syscall",
+}
+
+// String names the termination kind.
+func (k EndKind) String() string { return _endKindNames[k] }
+
+// NewState returns the fully symbolic entry state.
+func NewState(b *expr.Builder) *State {
+	s := &State{
+		B:      b,
+		writes: make(map[int64]stackCell),
+		inputs: make(map[int64]uint8),
+	}
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		s.Regs[r] = b.Var(RegVarName(r), 64)
+	}
+	s.ZF = b.Var("zf0", expr.BoolWidth)
+	s.SF = b.Var("sf0", expr.BoolWidth)
+	s.OF = b.Var("of0", expr.BoolWidth)
+	s.CF = b.Var("cf0", expr.BoolWidth)
+	s.PF = b.Var("pf0", expr.BoolWidth)
+	return s
+}
+
+func (s *State) c(v uint64) *expr.Node { return s.B.Const(v, 64) }
+
+// rspOffset returns the constant byte offset of the current rsp from rsp0,
+// or an error if rsp has become symbolic.
+func (s *State) rspOffset() (int64, error) {
+	diff := s.B.Sub(s.Regs[isa.RSP], s.B.Var(RegVarName(isa.RSP), 64))
+	if !diff.IsConst() {
+		return 0, unsupported("rsp is not a constant offset from entry rsp")
+	}
+	return int64(diff.Val), nil
+}
+
+// stackOffsetOf decides whether an effective-address expression is
+// stack-relative and returns its offset.
+func (s *State) stackOffsetOf(ea *expr.Node) (int64, error) {
+	diff := s.B.Sub(ea, s.B.Var(RegVarName(isa.RSP), 64))
+	if !diff.IsConst() {
+		return 0, unsupported("memory access outside the stack")
+	}
+	return int64(diff.Val), nil
+}
+
+func overlap(aOff int64, aSize uint8, bOff int64, bSize uint8) bool {
+	return aOff < bOff+int64(bSize) && bOff < aOff+int64(aSize)
+}
+
+// readStack reads size bytes at a constant stack offset. Untouched cells
+// produce fresh attacker-controlled input variables.
+func (s *State) readStack(off int64, size uint8) (*expr.Node, error) {
+	if cell, ok := s.writes[off]; ok && cell.size == size {
+		return s.B.And(cell.val, s.c(maskOf(size))), nil
+	}
+	for wOff, cell := range s.writes {
+		if overlap(off, size, wOff, cell.size) {
+			return nil, unsupported("partially overlapping stack read at %d", off)
+		}
+	}
+	if prev, ok := s.inputs[off]; ok && prev != size {
+		return nil, unsupported("stack slot %d read at sizes %d and %d", off, prev, size)
+	}
+	for iOff, iSize := range s.inputs {
+		if iOff != off && overlap(off, size, iOff, iSize) {
+			return nil, unsupported("overlapping stack input at %d", off)
+		}
+	}
+	s.inputs[off] = size
+	v := s.B.Var(StackVarName(off), 64)
+	if size == 8 {
+		return v, nil
+	}
+	return s.B.And(v, s.c(maskOf(size))), nil
+}
+
+// writeStack stores size bytes at a constant stack offset.
+func (s *State) writeStack(off int64, size uint8, v *expr.Node) error {
+	for wOff, cell := range s.writes {
+		if wOff != off && overlap(off, size, wOff, cell.size) {
+			return unsupported("partially overlapping stack write at %d", off)
+		}
+	}
+	if cell, ok := s.writes[off]; ok && cell.size != size {
+		return unsupported("stack slot %d written at sizes %d and %d", off, cell.size, size)
+	}
+	s.writes[off] = stackCell{val: v, size: size}
+	return nil
+}
+
+func maskOf(size uint8) uint64 {
+	switch size {
+	case 1:
+		return 0xFF
+	case 4:
+		return 0xFFFF_FFFF
+	default:
+		return ^uint64(0)
+	}
+}
+
+// effAddr computes a memory operand's effective address expression.
+func (s *State) effAddr(m isa.Mem, instEnd uint64) *expr.Node {
+	if m.RIPRel {
+		return s.c(instEnd + uint64(int64(m.Disp)))
+	}
+	ea := s.c(0)
+	if m.HasBase {
+		ea = s.Regs[m.Base]
+	}
+	if m.HasIndex {
+		ea = s.B.Add(ea, s.B.Mul(s.Regs[m.Index], s.c(uint64(m.Scale))))
+	}
+	return s.B.Add(ea, s.c(uint64(int64(m.Disp))))
+}
+
+// readOperand produces a 64-bit expression masked to the operand size.
+func (s *State) readOperand(op isa.Operand, size uint8, instEnd uint64) (*expr.Node, error) {
+	switch op.Kind {
+	case isa.KindReg:
+		if size == 8 {
+			return s.Regs[op.Reg], nil
+		}
+		return s.B.And(s.Regs[op.Reg], s.c(maskOf(size))), nil
+	case isa.KindImm:
+		return s.c(uint64(op.Imm) & maskOf(size)), nil
+	case isa.KindMem:
+		ea := s.effAddr(op.Mem, instEnd)
+		off, err := s.stackOffsetOf(ea)
+		if err == nil {
+			return s.readStack(off, size)
+		}
+		return s.readDeref(ea, size)
+	}
+	return nil, unsupported("empty operand read")
+}
+
+// maxDerefs bounds controlled-memory accesses per gadget; beyond this the
+// concretization constraints rarely stay satisfiable.
+const maxDerefs = 4
+
+// derefAddrOK checks an effective address is attacker-determined: built
+// only from entry registers and attacker-chosen values.
+func (s *State) derefAddrOK(ea *expr.Node) bool {
+	for _, name := range expr.Vars(ea) {
+		if IsAttackerVar(name) {
+			continue
+		}
+		if _, ok := IsRegVar(name); ok {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// readDeref models a load through an attacker-determined pointer: the
+// result is a fresh unconstrained variable; the planner must arrange for
+// the address to point into controlled memory.
+func (s *State) readDeref(ea *expr.Node, size uint8) (*expr.Node, error) {
+	if !s.derefAddrOK(ea) || len(s.memReads)+len(s.memWrites) >= maxDerefs {
+		return nil, unsupported("memory access outside the stack")
+	}
+	// Reject reads that may alias an earlier controlled-memory write (the
+	// fresh-variable model would be wrong for them).
+	for _, w := range s.memWrites {
+		diff := s.B.Sub(ea, w.Addr)
+		if diff.IsConst() {
+			d := int64(diff.Val)
+			if d < int64(w.Size) && d > -int64(size) {
+				return nil, unsupported("read aliases earlier controlled write")
+			}
+		}
+	}
+	v := s.B.Var(DerefVarName(len(s.memReads)), 64)
+	s.memReads = append(s.memReads, MemAccess{Addr: ea, Val: v, Size: size})
+	if size == 8 {
+		return v, nil
+	}
+	return s.B.And(v, s.c(maskOf(size))), nil
+}
+
+func (s *State) writeOperand(op isa.Operand, size uint8, v *expr.Node, instEnd uint64) error {
+	switch op.Kind {
+	case isa.KindReg:
+		switch size {
+		case 8:
+			s.Regs[op.Reg] = v
+		case 4:
+			s.Regs[op.Reg] = s.B.And(v, s.c(0xFFFF_FFFF))
+		case 1:
+			s.Regs[op.Reg] = s.B.Or(
+				s.B.And(s.Regs[op.Reg], s.c(^uint64(0xFF))),
+				s.B.And(v, s.c(0xFF)),
+			)
+		}
+		return nil
+	case isa.KindMem:
+		ea := s.effAddr(op.Mem, instEnd)
+		off, err := s.stackOffsetOf(ea)
+		if err == nil {
+			return s.writeStack(off, size, v)
+		}
+		// Write through an attacker-determined pointer: a write-where
+		// primitive aimed at scratch payload memory.
+		if !s.derefAddrOK(ea) || len(s.memReads)+len(s.memWrites) >= maxDerefs {
+			return unsupported("memory write outside the stack")
+		}
+		s.memWrites = append(s.memWrites, MemAccess{Addr: ea, Val: v, Size: size})
+		return nil
+	}
+	return unsupported("write to non-lvalue")
+}
+
+// msb returns the boolean "bit w-1 of v is set" for the operand size.
+func (s *State) msb(v *expr.Node, size uint8) *expr.Node {
+	bit := uint64(1) << (uint(size)*8 - 1)
+	return s.B.Ne(s.B.And(v, s.c(bit)), s.c(0))
+}
+
+// parity returns the even-parity boolean of the low byte.
+func (s *State) parity(v *expr.Node) *expr.Node {
+	low := s.B.And(v, s.c(0xFF))
+	// Fold the byte: x ^= x>>4; x ^= x>>2; x ^= x>>1; parity even = bit0==0.
+	x := low
+	for _, sh := range []uint64{4, 2, 1} {
+		x = s.B.Xor(x, s.B.Lshr(x, s.c(sh)))
+	}
+	return s.B.Eq(s.B.And(x, s.c(1)), s.c(0))
+}
+
+func (s *State) setPZS(r *expr.Node, size uint8) {
+	masked := s.B.And(r, s.c(maskOf(size)))
+	s.ZF = s.B.Eq(masked, s.c(0))
+	s.SF = s.msb(masked, size)
+	s.PF = s.parity(masked)
+}
+
+// opaqueFlag returns a fresh unconstrained boolean. Conditions built from it
+// can never be satisfied by planning, which conservatively removes gadgets
+// whose usability depends on flag bits we do not model exactly.
+func (s *State) opaqueFlag(tag string) *expr.Node {
+	s.opaque++
+	return s.B.Var(fmt.Sprintf("opq_%s_%d", tag, s.opaque), expr.BoolWidth)
+}
+
+// cond builds the boolean for an x86 condition code from the current flags.
+func (s *State) cond(c isa.Cond) *expr.Node {
+	b := s.B
+	switch c {
+	case isa.CondO:
+		return s.OF
+	case isa.CondNO:
+		return b.BNot(s.OF)
+	case isa.CondB:
+		return s.CF
+	case isa.CondAE:
+		return b.BNot(s.CF)
+	case isa.CondE:
+		return s.ZF
+	case isa.CondNE:
+		return b.BNot(s.ZF)
+	case isa.CondBE:
+		return b.BOr(s.CF, s.ZF)
+	case isa.CondA:
+		return b.BAnd(b.BNot(s.CF), b.BNot(s.ZF))
+	case isa.CondS:
+		return s.SF
+	case isa.CondNS:
+		return b.BNot(s.SF)
+	case isa.CondP:
+		return s.PF
+	case isa.CondNP:
+		return b.BNot(s.PF)
+	case isa.CondL:
+		return b.BNot(b.Eq(s.SF, s.OF))
+	case isa.CondGE:
+		return b.Eq(s.SF, s.OF)
+	case isa.CondLE:
+		return b.BOr(s.ZF, b.BNot(b.Eq(s.SF, s.OF)))
+	default: // CondG
+		return b.BAnd(b.BNot(s.ZF), b.Eq(s.SF, s.OF))
+	}
+}
