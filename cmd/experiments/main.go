@@ -6,10 +6,12 @@
 //	experiments -run fig1,table4,netperf
 //
 // Experiments: fig1, table1, table4 (includes table5), fig5, table6,
-// table7, netperf, composition, ablation.
+// table7, netperf, composition, ablation, pipeline (writes
+// BENCH_PIPELINE.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,9 +34,11 @@ func run() error {
 	which := flag.String("run", "all", "comma-separated experiments, or all")
 	quick := flag.Bool("quick", false, "trim the corpus for a fast pass")
 	seed := flag.Int64("seed", 42, "obfuscation seed")
+	parallel := flag.Int("parallel", 0, "experiment-cell workers (0 = all cores, 1 = serial; results are identical)")
+	benchJSON := flag.String("benchjson", "BENCH_PIPELINE.json", "output path for the pipeline benchmark")
 	flag.Parse()
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Parallelism: *parallel}
 	if *quick {
 		opts.Programs = benchprog.Benchmarks()[:3]
 		opts.Planner = planner.Options{MaxPlans: 12, MaxNodes: 6000, Timeout: 15 * time.Second}
@@ -112,6 +116,22 @@ func run() error {
 		section("Section VI-C — netperf case study")
 		fmt.Print(experiments.RenderNetperf(res))
 		fmt.Println()
+	}
+	if want("pipeline") {
+		res, err := experiments.BenchPipeline(opts)
+		if err != nil {
+			return err
+		}
+		section("Pipeline benchmark — serial vs parallel analysis")
+		fmt.Print(experiments.RenderPipelineBench(res))
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
 	}
 	if want("ablation") {
 		sub, err := experiments.AblationSubsumption(opts)

@@ -32,6 +32,7 @@ func run() error {
 	dump := flag.Bool("dump", false, "dump payload bytes")
 	verbose := flag.Bool("v", false, "print chains")
 	timeout := flag.Duration("timeout", 30*time.Second, "planning timeout per goal")
+	parallel := flag.Int("parallel", 0, "analysis workers (0 = all cores, 1 = serial; results are identical)")
 	flag.Parse()
 
 	if *binPath == "" {
@@ -46,7 +47,10 @@ func run() error {
 		return err
 	}
 
-	cfg := core.Config{Planner: planner.Options{MaxPlans: *maxPlans, Timeout: *timeout}}
+	cfg := core.Config{
+		Planner:     planner.Options{MaxPlans: *maxPlans, Timeout: *timeout},
+		Parallelism: *parallel,
+	}
 	analysis := core.Analyze(bin, cfg)
 	fmt.Printf("extraction: %d raw candidates, %d supported\n",
 		analysis.RawPool.Stats.RawCandidates, analysis.RawPool.Size())

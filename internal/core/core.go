@@ -41,6 +41,11 @@ type Config struct {
 	// SkipVerify accepts solver-concretized payloads without emulating
 	// them (used only by performance benchmarks).
 	SkipVerify bool
+	// Parallelism is how many workers extraction and subsumption may use
+	// (0 = runtime.GOMAXPROCS(0), 1 = single-threaded). Stage-level
+	// settings in Extract/Subsume, when non-zero, take precedence.
+	// Results are identical at every worker count.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -49,6 +54,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.VerifySteps == 0 {
 		c.VerifySteps = 100_000
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.Extract.Parallelism == 0 {
+		c.Extract.Parallelism = c.Parallelism
+	}
+	if c.Subsume.Parallelism == 0 {
+		c.Subsume.Parallelism = c.Parallelism
 	}
 	return c
 }
@@ -111,6 +125,19 @@ func Analyze(bin *sbf.Binary, cfg Config) *Analysis {
 			if cfg.GadgetFilter(g) {
 				addGadget(filtered, g)
 			}
+		}
+		// The copied stats describe the unfiltered pool; recompute the
+		// pool-content counters so they reflect what the filter kept.
+		// Scan-level counters (offsets, raw candidates, unsupported) are
+		// properties of the binary, not the filter, and stay as-is.
+		filtered.Stats.Supported = len(filtered.Gadgets)
+		filtered.Stats.MergedGadgets = 0
+		filtered.Stats.ByType = make(map[gadget.JmpType]int)
+		for _, g := range filtered.Gadgets {
+			if g.Merged {
+				filtered.Stats.MergedGadgets++
+			}
+			filtered.Stats.ByType[g.JmpType]++
 		}
 		pool = filtered
 	}

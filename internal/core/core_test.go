@@ -103,6 +103,56 @@ func TestGadgetFilter(t *testing.T) {
 	}
 }
 
+// A filtered pool must describe itself: its stats reflect what the filter
+// kept, not the unfiltered pool (regression: the stats used to be copied
+// verbatim).
+func TestGadgetFilterStats(t *testing.T) {
+	p, _ := benchprog.ByName("crc")
+	bin, err := benchprog.Build(p, obfuscate.LLVMObf(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter := func(g *gadget.Gadget) bool { return g.JmpType == gadget.TypeReturn }
+	full := Analyze(bin, Config{SkipSubsume: true})
+	a := Analyze(bin, Config{SkipSubsume: true, GadgetFilter: filter})
+
+	kept := 0
+	for _, g := range full.Pool.Gadgets {
+		if filter(g) {
+			kept++
+		}
+	}
+	if kept == 0 || kept == full.Pool.Size() {
+		t.Fatalf("filter not discriminating: kept %d of %d", kept, full.Pool.Size())
+	}
+	st := a.Pool.Stats
+	if st.Supported != kept {
+		t.Errorf("Supported = %d, want %d (pool size)", st.Supported, kept)
+	}
+	if got := st.ByType[gadget.TypeReturn]; got != kept {
+		t.Errorf("ByType[Return] = %d, want %d", got, kept)
+	}
+	for ty, n := range st.ByType {
+		if ty != gadget.TypeReturn && n != 0 {
+			t.Errorf("ByType[%v] = %d after return-only filter", ty, n)
+		}
+	}
+	merged := 0
+	for _, g := range a.Pool.Gadgets {
+		if g.Merged {
+			merged++
+		}
+	}
+	if st.MergedGadgets != merged {
+		t.Errorf("MergedGadgets = %d, want %d", st.MergedGadgets, merged)
+	}
+	// Scan-level counters still describe the binary, not the filter.
+	if st.ScannedOffsets != full.Pool.Stats.ScannedOffsets ||
+		st.RawCandidates != full.Pool.Stats.RawCandidates {
+		t.Errorf("scan counters changed: %+v vs %+v", st, full.Pool.Stats)
+	}
+}
+
 func TestChainStatsComposition(t *testing.T) {
 	s := Summarize(nil)
 	if s.Chains != 0 {

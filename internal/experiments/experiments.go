@@ -14,6 +14,8 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"github.com/nofreelunch/gadget-planner/internal/benchprog"
@@ -49,6 +51,11 @@ type Options struct {
 	Planner planner.Options
 	// Quick trims the corpus to three programs for fast smoke runs.
 	Quick bool
+	// Parallelism is how many experiment cells (program × configuration
+	// units of work) run concurrently, and is forwarded to the analysis
+	// pipeline's Parallelism knob. 0 = runtime.GOMAXPROCS(0), 1 = serial.
+	// Table results are identical at every setting.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -70,32 +77,97 @@ func (o Options) withDefaults() Options {
 	if o.Planner.Timeout == 0 {
 		o.Planner.Timeout = 20 * time.Second
 	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
-// Builder caches compiled binaries per (program, configuration).
+// pipelineParallelism decides each cell's core.Config.Parallelism: when the
+// experiment fans cells out, each cell's pipeline runs single-threaded (the
+// cores are already busy with sibling cells); a serial cell loop hands the
+// pipeline the full budget instead.
+func (o Options) pipelineParallelism(cells int) int {
+	if cells > 1 && o.Parallelism > 1 {
+		return 1
+	}
+	return o.Parallelism
+}
+
+// runCells executes fn(0..n-1) on up to `workers` goroutines and returns the
+// lowest-index error (so failures are reported deterministically). Cells must
+// write results into index-addressed slots, never append to shared state.
+func runCells(workers, n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Builder caches compiled binaries per (program, configuration). It is safe
+// for concurrent use; concurrent Build calls for the same key compile once.
 type Builder struct {
 	seed  int64
-	cache map[string]*sbf.Binary
+	mu    sync.Mutex
+	cache map[string]*buildEntry
+}
+
+type buildEntry struct {
+	once sync.Once
+	bin  *sbf.Binary
+	err  error
 }
 
 // NewBuilder returns an empty build cache.
 func NewBuilder(seed int64) *Builder {
-	return &Builder{seed: seed, cache: make(map[string]*sbf.Binary)}
+	return &Builder{seed: seed, cache: make(map[string]*buildEntry)}
 }
 
 // Build compiles (or returns the cached) binary.
 func (b *Builder) Build(p benchprog.Program, cfg ObfConfig) (*sbf.Binary, error) {
 	key := p.Name + "|" + cfg.Name
-	if bin, ok := b.cache[key]; ok {
-		return bin, nil
+	b.mu.Lock()
+	e, ok := b.cache[key]
+	if !ok {
+		e = &buildEntry{}
+		b.cache[key] = e
 	}
-	bin, err := benchprog.Build(p, cfg.Passes(), b.seed)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: build %s: %w", key, err)
-	}
-	b.cache[key] = bin
-	return bin, nil
+	b.mu.Unlock()
+	e.once.Do(func() {
+		e.bin, e.err = benchprog.Build(p, cfg.Passes(), b.seed)
+		if e.err != nil {
+			e.err = fmt.Errorf("experiments: build %s: %w", key, e.err)
+		}
+	})
+	return e.bin, e.err
 }
 
 // gadgetChunks slices the gadget's contiguous instruction-run bytes out of

@@ -26,16 +26,18 @@ type Fig1Row struct {
 }
 
 // Fig1 counts classically-scanned gadgets per program and configuration.
+// Programs are independent cells, so they run on opts.Parallelism workers.
 func Fig1(opts Options) ([]Fig1Row, error) {
 	opts = opts.withDefaults()
 	b := NewBuilder(opts.Seed)
-	var rows []Fig1Row
-	for _, p := range opts.Programs {
+	rows := make([]Fig1Row, len(opts.Programs))
+	err := runCells(opts.Parallelism, len(opts.Programs), func(i int) error {
+		p := opts.Programs[i]
 		row := Fig1Row{Program: p.Name}
 		for _, cfg := range Configs() {
 			bin, err := b.Build(p, cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			n := gadget.TotalCount(gadget.Count(bin, 10))
 			switch cfg.Name {
@@ -47,7 +49,11 @@ func Fig1(opts Options) ([]Fig1Row, error) {
 				row.Tigress = n
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -81,21 +87,39 @@ type Table1Row struct {
 }
 
 // Table1 computes per-class average gadget counts across the corpus.
+// Each program is one cell; per-program partial sums are reduced in program
+// order, so the averages are identical at any worker count.
 func Table1(opts Options) ([]Table1Row, error) {
 	opts = opts.withDefaults()
 	b := NewBuilder(opts.Seed)
-	sums := map[gadget.JmpType][3]float64{}
-	for _, p := range opts.Programs {
+	partials := make([]map[gadget.JmpType][3]float64, len(opts.Programs))
+	err := runCells(opts.Parallelism, len(opts.Programs), func(i int) error {
+		part := map[gadget.JmpType][3]float64{}
 		for ci, cfg := range Configs() {
-			bin, err := b.Build(p, cfg)
+			bin, err := b.Build(opts.Programs[i], cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			for t, n := range gadget.Count(bin, 10) {
-				s := sums[t]
+				s := part[t]
 				s[ci] += float64(n)
-				sums[t] = s
+				part[t] = s
 			}
+		}
+		partials[i] = part
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sums := map[gadget.JmpType][3]float64{}
+	for _, part := range partials {
+		for t, ps := range part {
+			s := sums[t]
+			for ci := range ps {
+				s[ci] += ps[ci]
+			}
+			sums[t] = s
 		}
 	}
 	nProg := float64(len(opts.Programs))
@@ -141,88 +165,123 @@ type Table4Row struct {
 	NewTotal  int // payloads relying on obfuscation-introduced gadgets
 }
 
-// Table4 runs all four tools over the corpus per configuration.
+// t4Cell is one (program, configuration) contribution to Table IV: row
+// deltas for every tool plus the Gadget-Planner attacks.
+type t4Cell struct {
+	deltas  []Table4Row // one per tool, Obf/Tool set, counters are deltas
+	attacks map[string]*core.Attack
+}
+
+// Table4 runs all four tools over the corpus per configuration. The
+// (program, configuration) cells are independent, so they run on
+// opts.Parallelism workers; cell results are reduced in program-major order,
+// which reproduces the sequential aggregation exactly.
 func Table4(opts Options) ([]Table4Row, map[string][]*core.Attack, error) {
 	opts = opts.withDefaults()
 	b := NewBuilder(opts.Seed)
-	// SGC gets the same search budget as Gadget-Planner; its handicap is
-	// its gadget selection, not its allowance (paper Section VI).
-	tools := []baseline.Tool{&ropgadget.Tool{}, &angrop.Tool{}, &sgc.Tool{
-		MaxPlans: opts.Planner.MaxPlans,
-		MaxNodes: opts.Planner.MaxNodes,
-		Timeout:  opts.Planner.Timeout,
-	}}
+
+	configs := Configs()
+	nCells := len(opts.Programs) * len(configs)
+	cells := make([]t4Cell, nCells)
+	pipePar := opts.pipelineParallelism(nCells)
+	err := runCells(opts.Parallelism, nCells, func(i int) error {
+		p := opts.Programs[i/len(configs)]
+		cfg := configs[i%len(configs)]
+		origText, err := origTextOf(b, p)
+		if err != nil {
+			return err
+		}
+		bin, err := b.Build(p, cfg)
+		if err != nil {
+			return err
+		}
+		// Tools are built per cell: a Tool value may keep run state, so
+		// sharing instances across concurrent cells would race. SGC gets
+		// the same search budget as Gadget-Planner; its handicap is its
+		// gadget selection, not its allowance (paper Section VI).
+		tools := []baseline.Tool{&ropgadget.Tool{}, &angrop.Tool{}, &sgc.Tool{
+			MaxPlans: opts.Planner.MaxPlans,
+			MaxNodes: opts.Planner.MaxNodes,
+			Timeout:  opts.Planner.Timeout,
+		}}
+		cell := t4Cell{}
+		for _, tool := range tools {
+			res := tool.Run(bin)
+			row := Table4Row{Obf: cfg.Name, Tool: res.ToolName}
+			row.PoolTotal = res.GadgetsTotal
+			row.PoolUsed = res.GadgetsUsed
+			row.Execve = res.PayloadsFor("execve")
+			row.Mprotect = res.PayloadsFor("mprotect")
+			row.Mmap = res.PayloadsFor("mmap")
+			row.Total = res.TotalPayloads()
+			if cfg.Name != "Original" {
+				for _, c := range res.Chains {
+					if !c.Verified {
+						continue
+					}
+					for _, g := range c.Gadgets {
+						if IsNewGadget(bin, g, origText) {
+							row.NewTotal++
+							break
+						}
+					}
+				}
+			}
+			cell.deltas = append(cell.deltas, row)
+		}
+		// Gadget-Planner.
+		a := core.Analyze(bin, core.Config{Planner: opts.Planner, Parallelism: pipePar})
+		attacks := a.FindAll()
+		row := Table4Row{Obf: cfg.Name, Tool: "Gadget-Planner"}
+		row.PoolTotal = a.Pool.Size()
+		used := map[uint64]bool{}
+		for _, atk := range attacks {
+			for _, pl := range atk.Payloads {
+				for _, g := range pl.Chain {
+					used[g.Location] = true
+				}
+			}
+		}
+		row.PoolUsed = len(used)
+		row.Execve = len(attacks["execve"].Payloads)
+		row.Mprotect = len(attacks["mprotect"].Payloads)
+		row.Mmap = len(attacks["mmap"].Payloads)
+		row.Total = core.TotalPayloads(attacks)
+		if cfg.Name != "Original" {
+			row.NewTotal = NewPayloads(bin, attacks, origText)
+		}
+		cell.deltas = append(cell.deltas, row)
+		cell.attacks = attacks
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 
 	rowIdx := map[string]*Table4Row{}
 	var order []string
-	get := func(obf, tool string) *Table4Row {
-		k := obf + "|" + tool
-		if r, ok := rowIdx[k]; ok {
-			return r
-		}
-		r := &Table4Row{Obf: obf, Tool: tool}
-		rowIdx[k] = r
-		order = append(order, k)
-		return r
-	}
 	gpPlans := map[string][]*core.Attack{}
-
-	for _, p := range opts.Programs {
-		origText, err := origTextOf(b, p)
-		if err != nil {
-			return nil, nil, err
+	for _, cell := range cells {
+		for _, d := range cell.deltas {
+			k := d.Obf + "|" + d.Tool
+			row, ok := rowIdx[k]
+			if !ok {
+				row = &Table4Row{Obf: d.Obf, Tool: d.Tool}
+				rowIdx[k] = row
+				order = append(order, k)
+			}
+			row.PoolTotal += d.PoolTotal
+			row.PoolUsed += d.PoolUsed
+			row.Execve += d.Execve
+			row.Mprotect += d.Mprotect
+			row.Mmap += d.Mmap
+			row.Total += d.Total
+			row.NewTotal += d.NewTotal
 		}
-		for _, cfg := range Configs() {
-			bin, err := b.Build(p, cfg)
-			if err != nil {
-				return nil, nil, err
-			}
-			for _, tool := range tools {
-				res := tool.Run(bin)
-				row := get(cfg.Name, res.ToolName)
-				row.PoolTotal += res.GadgetsTotal
-				row.PoolUsed += res.GadgetsUsed
-				row.Execve += res.PayloadsFor("execve")
-				row.Mprotect += res.PayloadsFor("mprotect")
-				row.Mmap += res.PayloadsFor("mmap")
-				row.Total += res.TotalPayloads()
-				if cfg.Name != "Original" {
-					for _, c := range res.Chains {
-						if !c.Verified {
-							continue
-						}
-						for _, g := range c.Gadgets {
-							if IsNewGadget(bin, g, origText) {
-								row.NewTotal++
-								break
-							}
-						}
-					}
-				}
-			}
-			// Gadget-Planner.
-			a := core.Analyze(bin, core.Config{Planner: opts.Planner})
-			attacks := a.FindAll()
-			row := get(cfg.Name, "Gadget-Planner")
-			row.PoolTotal += a.Pool.Size()
-			used := map[uint64]bool{}
-			for _, atk := range attacks {
-				for _, pl := range atk.Payloads {
-					for _, g := range pl.Chain {
-						used[g.Location] = true
-					}
-				}
-			}
-			row.PoolUsed += len(used)
-			row.Execve += len(attacks["execve"].Payloads)
-			row.Mprotect += len(attacks["mprotect"].Payloads)
-			row.Mmap += len(attacks["mmap"].Payloads)
-			row.Total += core.TotalPayloads(attacks)
-			if cfg.Name != "Original" {
-				row.NewTotal += NewPayloads(bin, attacks, origText)
-			}
-			gpPlans[cfg.Name] = append(gpPlans[cfg.Name], attacks["execve"], attacks["mprotect"], attacks["mmap"])
-		}
+		gpPlans[cell.deltas[len(cell.deltas)-1].Obf] = append(
+			gpPlans[cell.deltas[len(cell.deltas)-1].Obf],
+			cell.attacks["execve"], cell.attacks["mprotect"], cell.attacks["mmap"])
 	}
 
 	var rows []Table4Row
@@ -329,51 +388,78 @@ type Fig5Row struct {
 func Fig5(opts Options) ([]Fig5Row, error) {
 	opts = opts.withDefaults()
 	b := NewBuilder(opts.Seed)
-	var rows []Fig5Row
-	for _, passName := range obfuscate.AllPassNames() {
-		passName := passName
+	passes := obfuscate.AllPassNames()
+	if len(opts.Programs) == 0 {
+		rows := make([]Fig5Row, 0, len(passes)+1)
+		for _, name := range passes {
+			rows = append(rows, Fig5Row{Pass: name})
+		}
+		return append(rows, Fig5Row{Pass: "selfmod"}), nil
+	}
+
+	// One cell per (pass, program), plus per-program self-modification
+	// cells; partial rows are reduced in pass-major order.
+	nCells := (len(passes) + 1) * len(opts.Programs)
+	parts := make([]Fig5Row, nCells)
+	pipePar := opts.pipelineParallelism(nCells)
+	err := runCells(opts.Parallelism, nCells, func(i int) error {
+		pi, p := i/len(opts.Programs), opts.Programs[i%len(opts.Programs)]
+		if pi == len(passes) {
+			// Self-modification: static scan of the encoded image.
+			plain, err := b.Build(p, Configs()[0])
+			if err != nil {
+				return err
+			}
+			sm, err := obfuscate.SelfModifyBinary(plain, byte(opts.Seed)|1)
+			if err != nil {
+				return err
+			}
+			part := Fig5Row{Pass: "selfmod"}
+			part.Gadgets = gadget.TotalCount(gadget.Count(sm, 10))
+			a := core.Analyze(sm, core.Config{Planner: opts.Planner, Parallelism: pipePar})
+			part.Payloads = core.TotalPayloads(a.FindAll())
+			parts[i] = part
+			return nil
+		}
+		passName := passes[pi]
 		cfg := ObfConfig{Name: passName, Passes: func() []obfuscate.Pass {
-			p, err := obfuscate.ByName(passName)
+			ps, err := obfuscate.ByName(passName)
 			if err != nil {
 				return nil
 			}
-			return []obfuscate.Pass{p}
+			return []obfuscate.Pass{ps}
 		}}
-		row := Fig5Row{Pass: passName}
-		for _, p := range opts.Programs {
-			origText, err := origTextOf(b, p)
-			if err != nil {
-				return nil, err
-			}
-			bin, err := b.Build(p, cfg)
-			if err != nil {
-				return nil, err
-			}
-			row.Gadgets += gadget.TotalCount(gadget.Count(bin, 10))
-			a := core.Analyze(bin, core.Config{Planner: opts.Planner})
-			attacks := a.FindAll()
-			row.Payloads += core.TotalPayloads(attacks)
-			row.NewPayloads += NewPayloads(bin, attacks, origText)
+		origText, err := origTextOf(b, p)
+		if err != nil {
+			return err
 		}
-		rows = append(rows, row)
+		bin, err := b.Build(p, cfg)
+		if err != nil {
+			return err
+		}
+		part := Fig5Row{Pass: passName}
+		part.Gadgets = gadget.TotalCount(gadget.Count(bin, 10))
+		a := core.Analyze(bin, core.Config{Planner: opts.Planner, Parallelism: pipePar})
+		attacks := a.FindAll()
+		part.Payloads = core.TotalPayloads(attacks)
+		part.NewPayloads = NewPayloads(bin, attacks, origText)
+		parts[i] = part
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	// Self-modification: static scan of the encoded image.
-	smRow := Fig5Row{Pass: "selfmod"}
-	for _, p := range opts.Programs {
-		plain, err := b.Build(p, Configs()[0])
-		if err != nil {
-			return nil, err
+	rows := make([]Fig5Row, 0, len(passes)+1)
+	for i, part := range parts {
+		if i%len(opts.Programs) == 0 {
+			rows = append(rows, Fig5Row{Pass: part.Pass})
 		}
-		sm, err := obfuscate.SelfModifyBinary(plain, byte(opts.Seed)|1)
-		if err != nil {
-			return nil, err
-		}
-		smRow.Gadgets += gadget.TotalCount(gadget.Count(sm, 10))
-		a := core.Analyze(sm, core.Config{Planner: opts.Planner})
-		smRow.Payloads += core.TotalPayloads(a.FindAll())
+		row := &rows[len(rows)-1]
+		row.Gadgets += part.Gadgets
+		row.Payloads += part.Payloads
+		row.NewPayloads += part.NewPayloads
 	}
-	rows = append(rows, smRow)
 	return rows, nil
 }
 
@@ -399,27 +485,35 @@ type Table6Row struct {
 	GP        int
 }
 
-// Table6 runs the comparison on the SPEC-style corpus.
+// Table6 runs the comparison on the SPEC-style corpus. Each
+// (program, configuration) pair is one concurrent cell filling its own row.
 func Table6(opts Options) ([]Table6Row, error) {
 	opts.Programs = benchprog.Spec()
 	opts = opts.withDefaults()
 	b := NewBuilder(opts.Seed)
-	var rows []Table6Row
-	for _, p := range opts.Programs {
-		for _, cfg := range Configs() {
-			bin, err := b.Build(p, cfg)
-			if err != nil {
-				return nil, err
-			}
-			row := Table6Row{Benchmark: p.Name, Obf: cfg.Name}
-			row.Gadgets = gadget.TotalCount(gadget.Count(bin, 10))
-			row.RG = (&ropgadget.Tool{}).Run(bin).TotalPayloads()
-			row.Angrop = (&angrop.Tool{}).Run(bin).TotalPayloads()
-			row.SGC = (&sgc.Tool{}).Run(bin).TotalPayloads()
-			a := core.Analyze(bin, core.Config{Planner: opts.Planner})
-			row.GP = core.TotalPayloads(a.FindAll())
-			rows = append(rows, row)
+	configs := Configs()
+	nCells := len(opts.Programs) * len(configs)
+	rows := make([]Table6Row, nCells)
+	pipePar := opts.pipelineParallelism(nCells)
+	err := runCells(opts.Parallelism, nCells, func(i int) error {
+		p := opts.Programs[i/len(configs)]
+		cfg := configs[i%len(configs)]
+		bin, err := b.Build(p, cfg)
+		if err != nil {
+			return err
 		}
+		row := Table6Row{Benchmark: p.Name, Obf: cfg.Name}
+		row.Gadgets = gadget.TotalCount(gadget.Count(bin, 10))
+		row.RG = (&ropgadget.Tool{}).Run(bin).TotalPayloads()
+		row.Angrop = (&angrop.Tool{}).Run(bin).TotalPayloads()
+		row.SGC = (&sgc.Tool{}).Run(bin).TotalPayloads()
+		a := core.Analyze(bin, core.Config{Planner: opts.Planner, Parallelism: pipePar})
+		row.GP = core.TotalPayloads(a.FindAll())
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -450,35 +544,63 @@ type PoolCompositionRow struct {
 }
 
 // PoolComposition classifies minimized-pool gadgets across the corpus.
+// (configuration, program) pairs are independent cells; per-cell partial
+// counts are reduced per configuration.
 func PoolComposition(opts Options) ([]PoolCompositionRow, error) {
 	opts = opts.withDefaults()
 	b := NewBuilder(opts.Seed)
-	var rows []PoolCompositionRow
-	for _, cfg := range Configs() {
-		row := PoolCompositionRow{Obf: cfg.Name}
-		for _, p := range opts.Programs {
-			bin, err := b.Build(p, cfg)
-			if err != nil {
-				return nil, err
+	configs := Configs()
+	if len(opts.Programs) == 0 {
+		rows := make([]PoolCompositionRow, 0, len(configs))
+		for _, cfg := range configs {
+			rows = append(rows, PoolCompositionRow{Obf: cfg.Name})
+		}
+		return rows, nil
+	}
+	nCells := len(configs) * len(opts.Programs)
+	parts := make([]PoolCompositionRow, nCells)
+	pipePar := opts.pipelineParallelism(nCells)
+	err := runCells(opts.Parallelism, nCells, func(i int) error {
+		cfg := configs[i/len(opts.Programs)]
+		p := opts.Programs[i%len(opts.Programs)]
+		bin, err := b.Build(p, cfg)
+		if err != nil {
+			return err
+		}
+		part := PoolCompositionRow{Obf: cfg.Name}
+		a := core.Analyze(bin, core.Config{Parallelism: pipePar})
+		part.Pool = a.Pool.Size()
+		for _, g := range a.Pool.Gadgets {
+			if g.HasCond {
+				part.Conditional++
 			}
-			a := core.Analyze(bin, core.Config{})
-			row.Pool += a.Pool.Size()
-			for _, g := range a.Pool.Gadgets {
-				if g.HasCond {
-					row.Conditional++
-				}
-				if g.Merged {
-					row.MergedDJ++
-				}
-				if g.JmpType == gadget.TypeUIJ || g.JmpType == gadget.TypeCIJ {
-					row.Indirect++
-				}
-				if g.Effect.HasDerefs() {
-					row.Deref++
-				}
+			if g.Merged {
+				part.MergedDJ++
+			}
+			if g.JmpType == gadget.TypeUIJ || g.JmpType == gadget.TypeCIJ {
+				part.Indirect++
+			}
+			if g.Effect.HasDerefs() {
+				part.Deref++
 			}
 		}
-		rows = append(rows, row)
+		parts[i] = part
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]PoolCompositionRow, 0, len(configs))
+	for i, part := range parts {
+		if i%len(opts.Programs) == 0 {
+			rows = append(rows, PoolCompositionRow{Obf: part.Obf})
+		}
+		row := &rows[len(rows)-1]
+		row.Pool += part.Pool
+		row.Conditional += part.Conditional
+		row.MergedDJ += part.MergedDJ
+		row.Indirect += part.Indirect
+		row.Deref += part.Deref
 	}
 	return rows, nil
 }

@@ -211,9 +211,3 @@ func rebuild(b *Builder, n *Node, args []*Node) *Node {
 	}
 	panic(fmt.Sprintf("expr: rebuild of kind %d", n.Kind))
 }
-
-// Import interns a node (possibly from another builder) into b, reapplying
-// simplifications. Equivalent to Subst with no bindings.
-func Import(b *Builder, n *Node) *Node {
-	return Subst(b, n, nil)
-}

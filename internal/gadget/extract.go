@@ -1,6 +1,10 @@
 package gadget
 
 import (
+	"runtime"
+	"sort"
+	"sync"
+
 	"github.com/nofreelunch/gadget-planner/internal/expr"
 	"github.com/nofreelunch/gadget-planner/internal/isa"
 	"github.com/nofreelunch/gadget-planner/internal/sbf"
@@ -22,6 +26,11 @@ type Options struct {
 	// Stride scans every Stride-th byte offset as a potential gadget start.
 	// Default 1 (every offset, finding unaligned gadgets).
 	Stride int
+	// Parallelism is how many workers scan section shards concurrently.
+	// 0 selects runtime.GOMAXPROCS(0); 1 scans single-threaded. The result
+	// is identical at every worker count: shard boundaries and the merge
+	// order depend only on the binary and Stride, never on scheduling.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -37,10 +46,14 @@ func (o Options) withDefaults() Options {
 	if o.Stride == 0 {
 		o.Stride = 1
 	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
-// fetcher resolves code bytes at virtual addresses.
+// fetcher resolves code bytes at virtual addresses. It is read-only after
+// construction and safe for concurrent use by scan workers.
 type fetcher struct {
 	secs []*sbf.Section
 }
@@ -59,32 +72,175 @@ func (f *fetcher) at(addr uint64) []byte {
 	return nil
 }
 
+// chunkStrides is how many scan offsets one extraction shard covers. The
+// chunk size is fixed (not derived from the worker count) so the shard
+// partition — and with it the merge order and every interned node identity —
+// is the same no matter how many workers run.
+const chunkStrides = 2048
+
+// shardJob is one contiguous scan range [lo, hi) of a section's bytes.
+type shardJob struct {
+	sec    *sbf.Section
+	lo, hi int
+}
+
+// shard is one worker unit's output: gadgets whose effects live in the
+// shard's private builder, plus local statistics.
+type shard struct {
+	b       *expr.Builder
+	gadgets []*Gadget
+	stats   Stats
+}
+
 // Extract scans every executable byte offset of bin, walks gadget paths
 // (forking at conditional jumps, merging across direct jumps), runs symbolic
 // execution on each, and returns the pool of usable gadgets.
+//
+// The scan is sharded across Options.Parallelism workers. Each worker
+// symbolically executes its shard into a private expr.Builder; shards are
+// then merged in shard order, re-interning every effect DAG into the pool's
+// builder via expr.Import, so the pooled effects satisfy the same
+// pointer-equality invariant a sequential scan would produce.
 func Extract(bin *sbf.Binary, opts Options) *Pool {
 	opts = opts.withDefaults()
+	f := newFetcher(bin)
+
+	var jobs []shardJob
+	chunkBytes := opts.Stride * chunkStrides
+	for _, sec := range f.secs {
+		for lo := 0; lo < len(sec.Data); lo += chunkBytes {
+			hi := lo + chunkBytes
+			if hi > len(sec.Data) {
+				hi = len(sec.Data)
+			}
+			jobs = append(jobs, shardJob{sec: sec, lo: lo, hi: hi})
+		}
+	}
+
+	shards := make([]*shard, len(jobs))
+	workers := opts.Parallelism
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, job := range jobs {
+			shards[i] = scanShard(f, job, opts)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					shards[i] = scanShard(f, jobs[i], opts)
+				}
+			}()
+		}
+		for i := range jobs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	// Merge in shard order: statistics sum, and each shard's effect DAGs are
+	// re-interned into the pool builder. Both the shard sequence and the
+	// field order inside importEffect are fixed, so node identities in the
+	// merged builder are deterministic.
 	b := expr.NewBuilder()
 	pool := &Pool{
 		Builder: b,
 		ByReg:   make(map[isa.Reg][]*Gadget),
 		Stats:   Stats{ByType: make(map[JmpType]int)},
 	}
-	f := newFetcher(bin)
-	seen := make(map[string]bool)
-
-	for _, sec := range f.secs {
-		for off := 0; off < len(sec.Data); off += opts.Stride {
-			pool.Stats.ScannedOffsets++
-			start := sec.Addr + uint64(off)
-			walk(f, start, nil, opts, func(steps []symex.Step, end symex.EndKind) {
-				pool.Stats.RawCandidates++
-				pool.Stats.ByType[Classify(steps, end)]++
-				emit(pool, b, start, steps, seen)
-			})
+	imp := expr.NewImporter(b)
+	var all []*Gadget
+	for _, sh := range shards {
+		pool.Stats.merge(sh.stats)
+		for _, g := range sh.gadgets {
+			g.Effect = importEffect(imp, g.Effect)
 		}
+		all = append(all, sh.gadgets...)
+	}
+	// Deterministic pool order regardless of sharding: by (addr, len), with
+	// the stable sort preserving the walk's emission order for equal keys.
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Location != all[j].Location {
+			return all[i].Location < all[j].Location
+		}
+		return all[i].Len < all[j].Len
+	})
+	for _, g := range all {
+		fillRecord(b, g)
+		pool.add(g)
 	}
 	return pool
+}
+
+// scanShard scans one job's offsets into a fresh shard.
+func scanShard(f *fetcher, job shardJob, opts Options) *shard {
+	sh := &shard{
+		b:     expr.NewBuilder(),
+		stats: Stats{ByType: make(map[JmpType]int)},
+	}
+	// Path keys embed the start address, and shards partition the starts, so
+	// a shard-local seen map deduplicates exactly like a global one.
+	seen := make(map[string]bool)
+	for off := job.lo; off < job.hi; off += opts.Stride {
+		sh.stats.ScannedOffsets++
+		start := job.sec.Addr + uint64(off)
+		walk(f, start, nil, opts, func(steps []symex.Step, end symex.EndKind) {
+			sh.stats.RawCandidates++
+			sh.stats.ByType[Classify(steps, end)]++
+			sh.emit(start, steps, seen)
+		})
+	}
+	return sh
+}
+
+// importEffect re-interns an effect's DAGs into the importer's destination
+// builder. Fields are visited in a fixed order (registers, next RIP, stack
+// writes by ascending offset, memory accesses, conditions) so the
+// destination's interning order is deterministic.
+func importEffect(imp *expr.Importer, e *symex.Effect) *symex.Effect {
+	out := &symex.Effect{
+		StackWrites: make(map[int64]symex.Write, len(e.StackWrites)),
+		Inputs:      make(map[int64]uint8, len(e.Inputs)),
+		StackDelta:  e.StackDelta,
+		End:         e.End,
+	}
+	for r := range e.Regs {
+		out.Regs[r] = imp.Import(e.Regs[r])
+	}
+	out.NextRIP = imp.Import(e.NextRIP)
+	offs := make([]int64, 0, len(e.StackWrites))
+	for off := range e.StackWrites {
+		offs = append(offs, off)
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	for _, off := range offs {
+		w := e.StackWrites[off]
+		out.StackWrites[off] = symex.Write{Val: imp.Import(w.Val), Size: w.Size}
+	}
+	for off, size := range e.Inputs {
+		out.Inputs[off] = size
+	}
+	if len(e.MemReads) > 0 {
+		out.MemReads = make([]symex.MemAccess, len(e.MemReads))
+		for i, a := range e.MemReads {
+			out.MemReads[i] = symex.MemAccess{Addr: imp.Import(a.Addr), Val: imp.Import(a.Val), Size: a.Size}
+		}
+	}
+	if len(e.MemWrites) > 0 {
+		out.MemWrites = make([]symex.MemAccess, len(e.MemWrites))
+		for i, a := range e.MemWrites {
+			out.MemWrites[i] = symex.MemAccess{Addr: imp.Import(a.Addr), Val: imp.Import(a.Val), Size: a.Size}
+		}
+	}
+	out.Conds = imp.ImportAll(e.Conds)
+	return out
 }
 
 // walk follows one gadget path from addr, invoking found for every complete
@@ -181,9 +337,11 @@ func pathKey(start uint64, steps []symex.Step) string {
 	return string(key)
 }
 
-// emit runs symbolic execution on a complete path and adds the gadget to the
-// pool if its semantics are supported.
-func emit(pool *Pool, b *expr.Builder, start uint64, steps []symex.Step, seen map[string]bool) {
+// emit runs symbolic execution on a complete path and records the gadget in
+// the shard if its semantics are supported. The Table II record fields that
+// depend on builder node identity (ClobRegs/CtrlRegs) are filled at merge
+// time, after the effect is imported into the pool builder.
+func (sh *shard) emit(start uint64, steps []symex.Step, seen map[string]bool) {
 	// Paths that end in a direct jump are counted but not pooled: their
 	// next-RIP is a constant, so they cannot continue an attacker chain
 	// (merged variants of them are walked separately).
@@ -199,12 +357,12 @@ func emit(pool *Pool, b *expr.Builder, start uint64, steps []symex.Step, seen ma
 	}
 	seen[key] = true
 
-	eff, err := symex.Exec(b, steps)
+	eff, err := symex.Exec(sh.b, steps)
 	if err != nil {
-		pool.Stats.Unsupported++
+		sh.stats.Unsupported++
 		return
 	}
-	pool.Stats.Supported++
+	sh.stats.Supported++
 
 	g := &Gadget{
 		Location: start,
@@ -222,10 +380,9 @@ func emit(pool *Pool, b *expr.Builder, start uint64, steps []symex.Step, seen ma
 		}
 	}
 	if g.Merged {
-		pool.Stats.MergedGadgets++
+		sh.stats.MergedGadgets++
 	}
-	fillRecord(b, g)
-	pool.add(g)
+	sh.gadgets = append(sh.gadgets, g)
 }
 
 // pathLen sums the encoded byte length of the path.

@@ -136,8 +136,22 @@ type Stats struct {
 	Unsupported int
 	// MergedGadgets counts pool gadgets built across direct jumps.
 	MergedGadgets int
-	// ByType counts raw candidates per Table I class.
+	// ByType counts raw candidates per Table I class. (For a pool narrowed
+	// by core.Config.GadgetFilter it instead counts the pooled gadgets per
+	// class, so the stats describe what the filter kept.)
 	ByType map[JmpType]int
+}
+
+// merge adds another stats record into s (shard aggregation).
+func (s *Stats) merge(o Stats) {
+	s.ScannedOffsets += o.ScannedOffsets
+	s.RawCandidates += o.RawCandidates
+	s.Supported += o.Supported
+	s.Unsupported += o.Unsupported
+	s.MergedGadgets += o.MergedGadgets
+	for t, n := range o.ByType {
+		s.ByType[t] += n
+	}
 }
 
 // add inserts a gadget into the pool and its indexes.

@@ -73,10 +73,10 @@ type Concretizer struct {
 	// MaxConflicts bounds each solver query.
 	MaxConflicts int64
 
-	// validCache memoizes universal-validity checks of conditions that
-	// mention ambient (uncontrolled) values — e.g. opaque predicates, which
+	// sol is reused across Concretize calls so its verdict cache memoizes
+	// repeated universal-validity checks — e.g. opaque predicates, which
 	// hold for every value of the junk global they load.
-	validCache map[*expr.Node]bool
+	sol *solver.Solver
 }
 
 // NewConcretizer returns a concretizer for the pool's expression builder.
@@ -84,8 +84,16 @@ type Concretizer struct {
 func NewConcretizer(pool *gadget.Pool, bin *sbf.Binary, base uint64) *Concretizer {
 	return &Concretizer{
 		pool: pool, bin: bin, Base: base, MaxConflicts: 100_000,
-		validCache: make(map[*expr.Node]bool),
 	}
+}
+
+// solver returns the concretizer's solver, created on first use (so a
+// MaxConflicts override set after construction still takes effect).
+func (c *Concretizer) solver() *solver.Solver {
+	if c.sol == nil {
+		c.sol = solver.New(solver.Options{MaxConflicts: c.MaxConflicts})
+	}
+	return c.sol
 }
 
 // staticRead resolves a constant-address load against the binary's
@@ -366,7 +374,7 @@ func (c *Concretizer) Concretize(p *planner.Plan, goal planner.Goal) (*Payload, 
 	// Constraints over ambient values are acceptable only when universally
 	// valid (they then hold regardless of the uncontrolled state) — this is
 	// how opaque-predicate pre-conditions are discharged.
-	s := solver.New(solver.Options{MaxConflicts: c.MaxConflicts})
+	s := c.solver()
 	kept := constraints[:0]
 	for _, con := range constraints {
 		controlled := true
@@ -380,12 +388,7 @@ func (c *Concretizer) Concretize(p *planner.Plan, goal planner.Goal) (*Payload, 
 			kept = append(kept, con)
 			continue
 		}
-		valid, cached := c.validCache[con]
-		if !cached {
-			valid = s.Valid(b, con)
-			c.validCache[con] = valid
-		}
-		if !valid {
+		if !s.Valid(b, con) {
 			return nil, fmt.Errorf("%w: constraint %s", ErrUncontrolled, con)
 		}
 	}

@@ -1,0 +1,73 @@
+package solver
+
+import (
+	"encoding/binary"
+
+	"github.com/nofreelunch/gadget-planner/internal/expr"
+)
+
+// The verdict cache memoizes Sat/Unsat/Unknown outcomes keyed by a canonical
+// serialization of the query DAG. Keys are structural, not pointer-based, so
+// logically identical queries hit the cache even when their nodes were built
+// in different (e.g. per-bucket scratch) builders. Unknown verdicts are safe
+// to cache because they are a deterministic function of the query and the
+// solver's MaxConflicts budget, which is fixed per Solver.
+
+// maxCacheEntries bounds the verdict cache; once full, the cache is cleared
+// rather than grown (the workload is bursts of related queries, so recent
+// entries matter most and a wholesale reset is simpler than eviction).
+const maxCacheEntries = 1 << 20
+
+// cacheKey canonically serializes the conjunction query. Nodes are numbered
+// in first-visit (post-order) order and each is encoded with its kind,
+// width, payload, and child indices — an injective encoding of the DAG, so
+// distinct queries can never collide.
+func cacheKey(formulas []*expr.Node) string {
+	var buf []byte
+	idx := make(map[*expr.Node]uint64)
+	var visit func(n *expr.Node) uint64
+	visit = func(n *expr.Node) uint64 {
+		if i, ok := idx[n]; ok {
+			return i
+		}
+		var args [3]uint64
+		for i, a := range n.Args {
+			args[i] = visit(a)
+		}
+		i := uint64(len(idx))
+		idx[n] = i
+		buf = append(buf, byte(n.Kind), n.Width, byte(len(n.Args)))
+		buf = binary.AppendUvarint(buf, n.Val)
+		buf = binary.AppendUvarint(buf, uint64(len(n.Name)))
+		buf = append(buf, n.Name...)
+		for j := 0; j < len(n.Args); j++ {
+			buf = binary.AppendUvarint(buf, args[j])
+		}
+		return i
+	}
+	for _, f := range formulas {
+		root := visit(f)
+		buf = append(buf, 0xFF)
+		buf = binary.AppendUvarint(buf, root)
+	}
+	return string(buf)
+}
+
+// checkVerdict decides the conjunction like Check but without producing a
+// model, serving and populating the verdict cache. Queries answered from the
+// cache still count toward Queries (the logical query count stays
+// deterministic regardless of cache state) and increment CacheHits.
+func (s *Solver) checkVerdict(formulas ...*expr.Node) Result {
+	key := cacheKey(formulas)
+	if r, ok := s.cache[key]; ok {
+		s.Queries++
+		s.CacheHits++
+		return r
+	}
+	r, _ := s.Check(formulas...)
+	if len(s.cache) >= maxCacheEntries {
+		s.cache = make(map[string]Result)
+	}
+	s.cache[key] = r
+	return r
+}

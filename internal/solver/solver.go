@@ -34,14 +34,23 @@ type Options struct {
 }
 
 // Solver answers satisfiability, implication, and equivalence queries over
-// expr formulas. A Solver is stateless between queries and safe to reuse;
-// it is not safe for concurrent use.
+// expr formulas. Verdict-only queries (Sat, Valid, Implies, EquivalentBV,
+// EquivalentBool) are memoized in a structural-key cache, so repeated checks
+// — e.g. the same implication asked for many gadget pairs, or the same
+// validity proof across payload concretizations — are answered without
+// re-bit-blasting. A Solver is safe to reuse across queries; it is not safe
+// for concurrent use (give each worker its own Solver).
 type Solver struct {
 	opts Options
 
-	// Queries and Conflicts accumulate statistics across calls.
+	// Queries and Conflicts accumulate statistics across calls. Queries
+	// counts logical queries, including cache-served ones.
 	Queries   int64
 	Conflicts int64
+	// CacheHits counts verdict queries answered from the cache.
+	CacheHits int64
+
+	cache map[string]Result
 }
 
 // New returns a solver with the given options.
@@ -49,7 +58,7 @@ func New(opts Options) *Solver {
 	if opts.MaxConflicts == 0 {
 		opts.MaxConflicts = 200_000
 	}
-	return &Solver{opts: opts}
+	return &Solver{opts: opts, cache: make(map[string]Result)}
 }
 
 // Default returns a solver with default options.
@@ -104,22 +113,19 @@ func (s *Solver) Check(formulas ...*expr.Node) (Result, expr.Env) {
 // Sat reports whether the conjunction of formulas is satisfiable, treating
 // Unknown as satisfiable (the safe direction for pruning).
 func (s *Solver) Sat(formulas ...*expr.Node) bool {
-	r, _ := s.Check(formulas...)
-	return r != Unsat
+	return s.checkVerdict(formulas...) != Unsat
 }
 
 // Valid reports whether f holds in every model (its negation is Unsat).
 // Unknown results report false.
 func (s *Solver) Valid(b *expr.Builder, f *expr.Node) bool {
-	r, _ := s.Check(b.BNot(f))
-	return r == Unsat
+	return s.checkVerdict(b.BNot(f)) == Unsat
 }
 
 // Implies reports whether p logically entails q: p && !q is Unsat.
 // Unknown results report false.
 func (s *Solver) Implies(b *expr.Builder, p, q *expr.Node) bool {
-	r, _ := s.Check(p, b.BNot(q))
-	return r == Unsat
+	return s.checkVerdict(p, b.BNot(q)) == Unsat
 }
 
 // EquivalentBV reports whether two bitvector terms are equal in every model.
@@ -130,8 +136,7 @@ func (s *Solver) EquivalentBV(b *expr.Builder, x, y *expr.Node) bool {
 	if x.Width != y.Width {
 		return false
 	}
-	r, _ := s.Check(b.BNot(b.Eq(x, y)))
-	return r == Unsat
+	return s.checkVerdict(b.BNot(b.Eq(x, y))) == Unsat
 }
 
 // EquivalentBool reports whether two boolean formulas agree in every model.
@@ -139,9 +144,8 @@ func (s *Solver) EquivalentBool(b *expr.Builder, p, q *expr.Node) bool {
 	if p == q {
 		return true
 	}
-	r, _ := s.Check(b.BNot(b.Eq(b.Ite(p, b.Const(1, 8), b.Const(0, 8)),
-		b.Ite(q, b.Const(1, 8), b.Const(0, 8)))))
-	return r == Unsat
+	return s.checkVerdict(b.BNot(b.Eq(b.Ite(p, b.Const(1, 8), b.Const(0, 8)),
+		b.Ite(q, b.Const(1, 8), b.Const(0, 8))))) == Unsat
 }
 
 // Solve finds a model of the conjunction restricted to the named variables,

@@ -15,12 +15,21 @@
 // reach the SAT-backed equality and implication checks. Structurally
 // identical effects (pointer-equal thanks to hash-consing) short-circuit the
 // solver entirely.
+//
+// Buckets are independent, so they are dispatched to Options.Parallelism
+// workers, each with its own solver. Query formulas are built in a fresh
+// scratch builder per bucket (pool expressions are imported into it), which
+// keeps the pool's builder strictly read-only during minimization and makes
+// every bucket's verdicts independent of worker scheduling — the minimized
+// pool is byte-identical at any worker count.
 package subsume
 
 import (
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"sort"
+	"sync"
 
 	"github.com/nofreelunch/gadget-planner/internal/expr"
 	"github.com/nofreelunch/gadget-planner/internal/gadget"
@@ -36,6 +45,10 @@ type Options struct {
 	// MaxConflicts bounds each solver query. Default 4096 (Unknown results
 	// conservatively keep both gadgets).
 	MaxConflicts int64
+	// Parallelism is how many workers test buckets concurrently.
+	// 0 selects runtime.GOMAXPROCS(0); 1 runs single-threaded. The result
+	// is identical at every worker count.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -44,6 +57,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxConflicts == 0 {
 		o.MaxConflicts = 4096
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -54,7 +70,8 @@ type Stats struct {
 	After         int
 	RemovedIdent  int   // removed via structural (pointer) identity
 	RemovedProved int   // removed via solver-proved subsumption
-	SolverQueries int64 // SAT queries issued
+	SolverQueries int64 // logical SAT queries issued (cache hits included)
+	CacheHits     int64 // queries answered by the solver verdict cache
 	Buckets       int   // fingerprint buckets examined
 }
 
@@ -68,76 +85,135 @@ func (s Stats) ReductionFactor() float64 {
 
 // String renders a one-line summary.
 func (s Stats) String() string {
-	return fmt.Sprintf("subsume: %d -> %d (%.2fx; ident=%d proved=%d queries=%d)",
-		s.Before, s.After, s.ReductionFactor(), s.RemovedIdent, s.RemovedProved, s.SolverQueries)
+	return fmt.Sprintf("subsume: %d -> %d (%.2fx; ident=%d proved=%d queries=%d cached=%d)",
+		s.Before, s.After, s.ReductionFactor(), s.RemovedIdent, s.RemovedProved,
+		s.SolverQueries, s.CacheHits)
+}
+
+// bucketStats is one bucket's contribution to the aggregate Stats.
+type bucketStats struct {
+	removedIdent  int
+	removedProved int
 }
 
 // Minimize returns a new pool containing one gadget per equivalence class,
 // preferring gadgets with weaker pre-conditions, then fewer instructions.
+// The input pool's builder is not mutated.
 func Minimize(pool *gadget.Pool, opts Options) (*gadget.Pool, Stats) {
 	opts = opts.withDefaults()
-	b := pool.Builder
-	s := solver.New(solver.Options{MaxConflicts: opts.MaxConflicts})
 	stats := Stats{Before: pool.Size()}
 
-	// Group by structural key.
+	// Group by structural key, then sub-bucket by semantic fingerprint.
+	// Bucket contents follow pool order, so each bucket is deterministic;
+	// the bucket list order is not, but aggregation below is order-free.
 	groups := make(map[string][]*gadget.Gadget)
 	for _, g := range pool.Gadgets {
 		groups[structuralKey(g)] = append(groups[structuralKey(g)], g)
 	}
+	var buckets [][]*gadget.Gadget
+	for _, group := range groups {
+		byFp := make(map[uint64][]*gadget.Gadget)
+		for _, g := range group {
+			byFp[fingerprint(g, opts.Fingerprints)] = append(byFp[fingerprint(g, opts.Fingerprints)], g)
+		}
+		for _, bucket := range byFp {
+			buckets = append(buckets, bucket)
+		}
+	}
+	stats.Buckets = len(buckets)
+
+	kept := make([][]*gadget.Gadget, len(buckets))
+	bstats := make([]bucketStats, len(buckets))
+	workers := opts.Parallelism
+	if workers > len(buckets) {
+		workers = len(buckets)
+	}
+	solvers := make([]*solver.Solver, 0, workers)
+	if workers <= 1 {
+		s := solver.New(solver.Options{MaxConflicts: opts.MaxConflicts})
+		solvers = append(solvers, s)
+		for i, bucket := range buckets {
+			kept[i] = minimizeBucket(s, bucket, &bstats[i])
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			s := solver.New(solver.Options{MaxConflicts: opts.MaxConflicts})
+			solvers = append(solvers, s)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					kept[i] = minimizeBucket(s, buckets[i], &bstats[i])
+				}
+			}()
+		}
+		for i := range buckets {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	for _, bs := range bstats {
+		stats.RemovedIdent += bs.removedIdent
+		stats.RemovedProved += bs.removedProved
+	}
+	for _, s := range solvers {
+		stats.SolverQueries += s.Queries
+		stats.CacheHits += s.CacheHits
+	}
 
 	out := &gadget.Pool{
-		Builder: b,
-		ByReg:   make(map[isa.Reg][]*gadget.Gadget),
+		Builder: pool.Builder,
 		Stats:   pool.Stats,
 	}
-
-	for _, group := range groups {
-		// Sub-bucket by semantic fingerprint.
-		buckets := make(map[uint64][]*gadget.Gadget)
-		for _, g := range group {
-			buckets[fingerprint(g, opts.Fingerprints)] = append(buckets[fingerprint(g, opts.Fingerprints)], g)
-		}
-		for _, bucket := range buckets {
-			stats.Buckets++
-			kept := minimizeBucket(b, s, bucket, &stats)
-			for _, g := range kept {
-				addTo(out, g)
-			}
-		}
+	for _, ks := range kept {
+		out.Gadgets = append(out.Gadgets, ks...)
 	}
-	stats.SolverQueries = s.Queries
 	stats.After = out.Size()
 	sortPool(out)
 	return out, stats
 }
 
-// addTo inserts into the output pool preserving gadget identity.
-func addTo(out *gadget.Pool, g *gadget.Gadget) {
-	out.Gadgets = append(out.Gadgets, g)
-	if g.JmpType == gadget.TypeSyscall {
-		out.Syscalls = append(out.Syscalls, g)
-	}
-	for _, r := range g.ClobRegs {
-		out.ByReg[r] = append(out.ByReg[r], g)
+// sortPool orders gadgets by location, renumbers IDs, and rebuilds the
+// register and syscall indexes in that order, so the output pool is fully
+// deterministic regardless of bucket processing order.
+func sortPool(p *gadget.Pool) {
+	sort.Slice(p.Gadgets, func(i, j int) bool { return gadgetLess(p.Gadgets[i], p.Gadgets[j]) })
+	p.Syscalls = nil
+	p.ByReg = make(map[isa.Reg][]*gadget.Gadget)
+	for i, g := range p.Gadgets {
+		g.ID = i
+		if g.JmpType == gadget.TypeSyscall {
+			p.Syscalls = append(p.Syscalls, g)
+		}
+		for _, r := range g.ClobRegs {
+			p.ByReg[r] = append(p.ByReg[r], g)
+		}
 	}
 }
 
-// sortPool renumbers gadget IDs in location order for determinism.
-func sortPool(p *gadget.Pool) {
-	sort.Slice(p.Gadgets, func(i, j int) bool {
-		if p.Gadgets[i].Location != p.Gadgets[j].Location {
-			return p.Gadgets[i].Location < p.Gadgets[j].Location
-		}
-		return p.Gadgets[i].NumInsts() < p.Gadgets[j].NumInsts()
-	})
-	for i, g := range p.Gadgets {
-		g.ID = i
+// gadgetLess is a total order on distinct gadgets (the extraction-time ID
+// breaks any remaining tie), so sorts over them are deterministic.
+func gadgetLess(a, b *gadget.Gadget) bool {
+	if a.Location != b.Location {
+		return a.Location < b.Location
 	}
+	if a.NumInsts() != b.NumInsts() {
+		return a.NumInsts() < b.NumInsts()
+	}
+	if a.Len != b.Len {
+		return a.Len < b.Len
+	}
+	return a.ID < b.ID
 }
 
 // minimizeBucket removes subsumed gadgets within one fingerprint bucket.
-func minimizeBucket(b *expr.Builder, s *solver.Solver, bucket []*gadget.Gadget, stats *Stats) []*gadget.Gadget {
+// Queries are built in a bucket-local scratch builder so verdicts depend
+// only on the bucket's content, never on what the worker processed before.
+func minimizeBucket(s *solver.Solver, bucket []*gadget.Gadget, bs *bucketStats) []*gadget.Gadget {
 	// Prefer weaker pre-conditions (fewer conjuncts), then shorter gadgets,
 	// so the survivor of each class is the cheapest to use.
 	sort.Slice(bucket, func(i, j int) bool {
@@ -145,27 +221,27 @@ func minimizeBucket(b *expr.Builder, s *solver.Solver, bucket []*gadget.Gadget, 
 		if ci != cj {
 			return ci < cj
 		}
-		if bucket[i].NumInsts() != bucket[j].NumInsts() {
-			return bucket[i].NumInsts() < bucket[j].NumInsts()
-		}
-		return bucket[i].Location < bucket[j].Location
+		return gadgetLess(bucket[i], bucket[j])
 	})
+
+	scratch := expr.NewBuilder()
+	imp := expr.NewImporter(scratch)
 
 	var kept []*gadget.Gadget
 	for _, cand := range bucket {
 		subsumed := false
 		for _, k := range kept {
-			ident, eq := equalPost(b, s, k, cand)
+			ident, eq := equalPost(scratch, imp, s, k, cand)
 			if !eq {
 				continue
 			}
 			// Posts equal; k wins if cand's pre-condition implies k's.
-			if preImplies(b, s, cand, k) {
+			if preImplies(scratch, imp, s, cand, k) {
 				subsumed = true
 				if ident {
-					stats.RemovedIdent++
+					bs.removedIdent++
 				} else {
-					stats.RemovedProved++
+					bs.removedProved++
 				}
 				break
 			}
@@ -178,8 +254,10 @@ func minimizeBucket(b *expr.Builder, s *solver.Solver, bucket []*gadget.Gadget, 
 }
 
 // equalPost decides post1 == post2. The bool pair is (structurally
-// identical, equal).
-func equalPost(b *expr.Builder, s *solver.Solver, g1, g2 *gadget.Gadget) (bool, bool) {
+// identical, equal). Structural comparisons use pool-node pointer equality;
+// residual proof obligations are imported into the scratch builder for the
+// solver.
+func equalPost(scratch *expr.Builder, imp *expr.Importer, s *solver.Solver, g1, g2 *gadget.Gadget) (bool, bool) {
 	e1, e2 := g1.Effect, g2.Effect
 	if e1.End != e2.End || e1.StackDelta != e2.StackDelta {
 		return false, false
@@ -235,7 +313,7 @@ func equalPost(b *expr.Builder, s *solver.Solver, g1, g2 *gadget.Gadget) (bool, 
 		return true, true
 	}
 	for _, p := range pending {
-		if !s.EquivalentBV(b, p[0], p[1]) {
+		if !s.EquivalentBV(scratch, imp.Import(p[0]), imp.Import(p[1])) {
 			return false, false
 		}
 	}
@@ -244,16 +322,16 @@ func equalPost(b *expr.Builder, s *solver.Solver, g1, g2 *gadget.Gadget) (bool, 
 
 // preImplies reports whether g2's pre-condition entails g1's (so g1 is usable
 // whenever g2 is).
-func preImplies(b *expr.Builder, s *solver.Solver, g2, g1 *gadget.Gadget) bool {
-	p1 := b.AndAll(g1.Effect.Conds)
-	p2 := b.AndAll(g2.Effect.Conds)
+func preImplies(scratch *expr.Builder, imp *expr.Importer, s *solver.Solver, g2, g1 *gadget.Gadget) bool {
+	p1 := scratch.AndAll(imp.ImportAll(g1.Effect.Conds))
+	p2 := scratch.AndAll(imp.ImportAll(g2.Effect.Conds))
 	if p1 == p2 {
 		return true
 	}
 	if v, ok := p1.IsBoolConst(); ok && v {
 		return true // g1 unconditionally usable
 	}
-	return s.Implies(b, p2, p1)
+	return s.Implies(scratch, p2, p1)
 }
 
 // structuralKey groups gadgets that could possibly be equivalent.
