@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check
+.PHONY: build test vet race bench bench-solver check
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,10 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench 'Parallel' -benchtime 3x ./internal/gadget/ ./internal/subsume/
+
+# Solver triage benchmark; writes BENCH_SOLVER.json next to BENCH_PIPELINE.json.
+bench-solver:
+	$(GO) run ./cmd/experiments -run solverbench
 
 # CI gate: static checks plus the full test suite under the race detector.
 check: vet race

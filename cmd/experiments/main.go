@@ -7,7 +7,7 @@
 //
 // Experiments: fig1, table1, table4 (includes table5), fig5, table6,
 // table7, netperf, composition, ablation, pipeline (writes
-// BENCH_PIPELINE.json).
+// BENCH_PIPELINE.json), solverbench (writes BENCH_SOLVER.json).
 package main
 
 import (
@@ -36,6 +36,7 @@ func run() error {
 	seed := flag.Int64("seed", 42, "obfuscation seed")
 	parallel := flag.Int("parallel", 0, "experiment-cell workers (0 = all cores, 1 = serial; results are identical)")
 	benchJSON := flag.String("benchjson", "BENCH_PIPELINE.json", "output path for the pipeline benchmark")
+	solverJSON := flag.String("solverjson", "BENCH_SOLVER.json", "output path for the solver triage benchmark")
 	flag.Parse()
 
 	opts := experiments.Options{Seed: *seed, Quick: *quick, Parallelism: *parallel}
@@ -132,6 +133,22 @@ func run() error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *benchJSON)
+	}
+	if want("solverbench") {
+		res, err := experiments.BenchSolver(opts)
+		if err != nil {
+			return err
+		}
+		section("Solver benchmark — verdict-query triage")
+		fmt.Print(experiments.RenderSolverBench(res))
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*solverJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *solverJSON)
 	}
 	if want("ablation") {
 		sub, err := experiments.AblationSubsumption(opts)

@@ -33,6 +33,7 @@ func run() error {
 	verbose := flag.Bool("v", false, "print chains")
 	timeout := flag.Duration("timeout", 30*time.Second, "planning timeout per goal")
 	parallel := flag.Int("parallel", 0, "analysis workers (0 = all cores, 1 = serial; results are identical)")
+	noTriage := flag.Bool("notriage", false, "disable solver query triage (A/B benchmarking; results are identical)")
 	flag.Parse()
 
 	if *binPath == "" {
@@ -51,6 +52,7 @@ func run() error {
 		Planner:     planner.Options{MaxPlans: *maxPlans, Timeout: *timeout},
 		Parallelism: *parallel,
 	}
+	cfg.Subsume.DisableTriage = *noTriage
 	analysis := core.Analyze(bin, cfg)
 	fmt.Printf("extraction: %d raw candidates, %d supported\n",
 		analysis.RawPool.Stats.RawCandidates, analysis.RawPool.Size())

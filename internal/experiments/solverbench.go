@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/nofreelunch/gadget-planner/internal/expr"
+	"github.com/nofreelunch/gadget-planner/internal/gadget"
+	"github.com/nofreelunch/gadget-planner/internal/solver"
+	"github.com/nofreelunch/gadget-planner/internal/subsume"
+)
+
+// SolverTierCounts is the per-tier resolution split of the solver's verdict
+// queries: constant folding, concrete screening (T1), witness replay (T2),
+// verdict cache (T3), and the bit-blaster (T4).
+type SolverTierCounts struct {
+	Queries        int64 `json:"queries"`
+	ConstResolved  int64 `json:"const_resolved"`
+	EvalRefuted    int64 `json:"eval_refuted"`
+	WitnessRefuted int64 `json:"witness_refuted"`
+	CacheHits      int64 `json:"cache_hits"`
+	Blasted        int64 `json:"blasted"`
+}
+
+func (c *SolverTierCounts) addStats(s subsume.Stats) {
+	c.Queries += s.SolverQueries
+	c.EvalRefuted += s.EvalRefuted
+	c.WitnessRefuted += s.WitnessRefuted
+	c.CacheHits += s.CacheHits
+	c.Blasted += s.Blasted
+	c.ConstResolved = c.Queries - c.EvalRefuted - c.WitnessRefuted - c.CacheHits - c.Blasted
+}
+
+func (c *SolverTierCounts) addSolver(s *solver.Solver) {
+	c.Queries += s.Queries
+	c.EvalRefuted += s.EvalRefuted
+	c.WitnessRefuted += s.WitnessRefuted
+	c.CacheHits += s.CacheHits
+	c.Blasted += s.Blasted
+	c.ConstResolved = c.Queries - c.EvalRefuted - c.WitnessRefuted - c.CacheHits - c.Blasted
+}
+
+// TriageShare is the fraction of queries resolved without bit-blasting.
+func (c SolverTierCounts) TriageShare() float64 {
+	if c.Queries == 0 {
+		return 0
+	}
+	return 1 - float64(c.Blasted)/float64(c.Queries)
+}
+
+// SolverBench is the machine-readable solver-triage benchmark
+// (BENCH_SOLVER.json). The corpus section aggregates subsumption across the
+// obfuscated benchmark programs and cross-checks that the minimized pools
+// are byte-identical with triage on or off at several worker counts; the
+// micro section replays a deterministic stream of subsumption-shaped
+// verdict queries against the solver directly, where the time per query is
+// not diluted by extraction and bucketing.
+type SolverBench struct {
+	// Corpus: subsumption over Programs × {LLVM-Obf, Tigress}.
+	Programs               int              `json:"programs"`
+	Corpus                 SolverTierCounts `json:"corpus"`
+	CorpusTriageShare      float64          `json:"corpus_triage_share"`
+	SubsumeSecondsBaseline float64          `json:"subsume_seconds_baseline"`
+	SubsumeSecondsTriage   float64          `json:"subsume_seconds_triage"`
+	PoolsIdentical         bool             `json:"pools_identical"`
+	PoolSize               int              `json:"pool_size"`
+
+	// Micro: direct verdict-query stream, triage on vs off.
+	Micro              SolverTierCounts `json:"micro"`
+	MicroBaseline      SolverTierCounts `json:"micro_baseline"`
+	NsPerQueryTriage   float64          `json:"ns_per_query_triage"`
+	NsPerQueryBaseline float64          `json:"ns_per_query_baseline"`
+	MicroSpeedup       float64          `json:"micro_speedup"`
+}
+
+// triageWorkerCounts are the parallelism settings cross-checked for pool
+// identity against the triage-disabled serial reference.
+var triageWorkerCounts = []int{1, 2, 8}
+
+// BenchSolver measures the tiered verdict-query triage. cmd/experiments
+// writes the result as BENCH_SOLVER.json.
+func BenchSolver(opts Options) (*SolverBench, error) {
+	opts = opts.withDefaults()
+	res := &SolverBench{PoolsIdentical: true}
+
+	b := NewBuilder(opts.Seed)
+	for _, p := range opts.Programs {
+		for _, cfg := range Configs()[1:] { // LLVM-Obf, Tigress
+			bin, err := b.Build(p, cfg)
+			if err != nil {
+				return nil, err
+			}
+			pool := gadget.Extract(bin, gadget.Options{})
+
+			start := time.Now()
+			ref, _ := subsume.Minimize(pool, subsume.Options{Parallelism: 1, DisableTriage: true})
+			res.SubsumeSecondsBaseline += time.Since(start).Seconds()
+			refSig := PoolSignature(ref)
+
+			for _, par := range triageWorkerCounts {
+				start = time.Now()
+				min, stats := subsume.Minimize(pool, subsume.Options{Parallelism: par})
+				if par == 1 {
+					res.SubsumeSecondsTriage += time.Since(start).Seconds()
+					res.Corpus.addStats(stats)
+					res.PoolSize += min.Size()
+				}
+				if PoolSignature(min) != refSig {
+					res.PoolsIdentical = false
+				}
+			}
+		}
+		res.Programs++
+	}
+	res.CorpusTriageShare = res.Corpus.TriageShare()
+
+	res.Micro, res.NsPerQueryTriage = runMicroStream(solver.Options{})
+	res.MicroBaseline, res.NsPerQueryBaseline = runMicroStream(solver.Options{DisableTriage: true})
+	if res.NsPerQueryTriage > 0 {
+		res.MicroSpeedup = res.NsPerQueryBaseline / res.NsPerQueryTriage
+	}
+	return res, nil
+}
+
+// microStreamQueries is the length of the synthetic verdict-query stream.
+// The stream is the *refutable* query class — the overwhelming majority in
+// production, and the class triage exists for. (Unsatisfiable queries, the
+// true equivalences, cost the same in both modes: no tier can skip an UNSAT
+// proof, so including them would only dilute the per-query comparison with
+// a constant both sides share.) Nine in ten queries are MBA near-miss
+// pairs, which concrete screening refutes; one in ten is an implication
+// refutable only at a magic value no battery probe hits, so the first one
+// bit-blasts and the rest are refuted by replaying its model.
+const microStreamQueries = 200
+
+// runMicroStream replays the deterministic query stream against one fresh
+// solver and returns the tier split and mean wall time per query.
+func runMicroStream(sopts solver.Options) (SolverTierCounts, float64) {
+	eb := expr.NewBuilder()
+	x := eb.Var("rax0", 64)
+	y := eb.Var("rbx0", 64)
+	// x + y == (x ^ y) + 2*(x & y) is the canonical MBA addition identity;
+	// offsetting one side by a nonzero constant makes a near-miss that only
+	// a concrete counterexample refutes.
+	lhs := eb.Add(x, y)
+	rhs := eb.Add(eb.Xor(x, y), eb.Shl(eb.And(x, y), eb.Const(1, 64)))
+	magic := eb.Eq(x, eb.Const(0xDECAF123, 64))
+
+	s := solver.New(sopts)
+	var counts SolverTierCounts
+	start := time.Now()
+	for i := 0; i < microStreamQueries; i++ {
+		c := eb.Const(uint64(i)+1, 64)
+		if i%10 == 0 {
+			// Refuted only by x = 0xDECAF123: the first instance must
+			// bit-blast; its model then screens the remaining instances.
+			if s.Implies(eb, magic, eb.Eq(x, c)) {
+				panic("implication from magic value proved")
+			}
+		} else {
+			if s.EquivalentBV(eb, eb.Add(lhs, c), rhs) {
+				panic("non-equivalent pair proved equal")
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	counts.addSolver(s)
+	return counts, float64(elapsed.Nanoseconds()) / microStreamQueries
+}
+
+// RenderSolverBench prints the benchmark as a table.
+func RenderSolverBench(b *SolverBench) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "solver bench: %d programs x 2 obfuscators (pools identical at parallelism %v: %v)\n",
+		b.Programs, triageWorkerCounts, b.PoolsIdentical)
+	fmt.Fprintf(&sb, "%-22s %10s %10s %10s %10s %10s %10s\n",
+		"", "queries", "const", "eval", "witness", "cached", "blasted")
+	row := func(name string, c SolverTierCounts) {
+		fmt.Fprintf(&sb, "%-22s %10d %10d %10d %10d %10d %10d\n",
+			name, c.Queries, c.ConstResolved, c.EvalRefuted, c.WitnessRefuted, c.CacheHits, c.Blasted)
+	}
+	row("corpus (triage)", b.Corpus)
+	fmt.Fprintf(&sb, "%-22s %.1f%% resolved without blasting; subsume %.3fs -> %.3fs\n",
+		"", 100*b.CorpusTriageShare, b.SubsumeSecondsBaseline, b.SubsumeSecondsTriage)
+	row("micro (triage)", b.Micro)
+	row("micro (baseline)", b.MicroBaseline)
+	fmt.Fprintf(&sb, "%-22s %.0f ns/query -> %.0f ns/query (%.1fx)\n",
+		"", b.NsPerQueryBaseline, b.NsPerQueryTriage, b.MicroSpeedup)
+	return sb.String()
+}

@@ -11,7 +11,6 @@ package expr
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -579,62 +578,6 @@ func (n *Node) format(sb *strings.Builder) {
 		}
 		sb.WriteByte(')')
 	}
-}
-
-// Vars returns the sorted names of all variables appearing in the nodes.
-func Vars(nodes ...*Node) []string {
-	seen := make(map[string]bool)
-	var visit func(n *Node)
-	visited := make(map[uint32]bool)
-	visit = func(n *Node) {
-		if visited[n.id] {
-			return
-		}
-		visited[n.id] = true
-		if n.Kind == KindVar {
-			seen[n.Name] = true
-		}
-		for _, a := range n.Args {
-			visit(a)
-		}
-	}
-	for _, n := range nodes {
-		if n != nil {
-			visit(n)
-		}
-	}
-	out := make([]string, 0, len(seen))
-	for name := range seen {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// VarNodes returns the distinct variable nodes appearing in the nodes.
-func VarNodes(nodes ...*Node) []*Node {
-	var out []*Node
-	visited := make(map[uint32]bool)
-	var visit func(n *Node)
-	visit = func(n *Node) {
-		if visited[n.id] {
-			return
-		}
-		visited[n.id] = true
-		if n.Kind == KindVar {
-			out = append(out, n)
-		}
-		for _, a := range n.Args {
-			visit(a)
-		}
-	}
-	for _, n := range nodes {
-		if n != nil {
-			visit(n)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
 }
 
 // Size returns the number of distinct nodes reachable from n.

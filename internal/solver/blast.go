@@ -6,21 +6,45 @@ import (
 	"github.com/nofreelunch/gadget-planner/internal/expr"
 )
 
-// blaster lowers expr nodes to CNF over a satSolver.
+// blaster lowers expr nodes to CNF over a satSolver. Two memoization layers
+// keep the emitted CNF small: per-node literal vectors (bv/bl, shared across
+// all conjuncts of one query, since hash-consed nodes recur), and gate-level
+// hash-consing (gates) — structurally identical and/xor/mux gates emit their
+// Tseitin clauses once and share the output literal, even when they arise
+// from *different* expr nodes (e.g. the adder both ultBits and sltBits
+// build over the same operands, or the x^y term a full adder needs twice).
 type blaster struct {
 	sat     *satSolver
 	bv      map[uint32][]lit // bitvector node -> bits, LSB first
 	bl      map[uint32]lit   // boolean node -> literal
+	gates   map[gateKey]lit  // canonicalized gate -> output literal
 	trueLit lit
 	vars    map[string][]lit // bitvector variable name -> bits
 }
 
+// gateKey identifies a gate up to canonicalization: commutative inputs are
+// ordered, xor inputs are polarity-normalized, and mux selectors are made
+// positive. c is zero for two-input gates (literal 0 is never allocated:
+// variable numbering starts at 1).
+type gateKey struct {
+	op      uint8
+	a, b, c lit
+}
+
+// Gate ops for gateKey.
+const (
+	gateAnd uint8 = iota
+	gateXor
+	gateMux
+)
+
 func newBlaster(sat *satSolver) *blaster {
 	b := &blaster{
-		sat:  sat,
-		bv:   make(map[uint32][]lit),
-		bl:   make(map[uint32]lit),
-		vars: make(map[string][]lit),
+		sat:   sat,
+		bv:    make(map[uint32][]lit),
+		bl:    make(map[uint32]lit),
+		gates: make(map[gateKey]lit),
+		vars:  make(map[string][]lit),
 	}
 	v := sat.newVar()
 	b.trueLit = mkLit(v, false)
@@ -57,10 +81,18 @@ func (b *blaster) andGate(x, y lit) lit {
 	if x == y.not() {
 		return b.falseLit()
 	}
+	if x > y {
+		x, y = y, x
+	}
+	key := gateKey{op: gateAnd, a: x, b: y}
+	if o, ok := b.gates[key]; ok {
+		return o
+	}
 	o := b.fresh()
 	b.sat.addClause([]lit{x.not(), y.not(), o})
 	b.sat.addClause([]lit{x, o.not()})
 	b.sat.addClause([]lit{y, o.not()})
+	b.gates[key] = o
 	return o
 }
 
@@ -87,11 +119,27 @@ func (b *blaster) xorGate(x, y lit) lit {
 	if x == y.not() {
 		return b.trueLit
 	}
-	o := b.fresh()
-	b.sat.addClause([]lit{x.not(), y.not(), o.not()})
-	b.sat.addClause([]lit{x, y, o.not()})
-	b.sat.addClause([]lit{x.not(), y, o})
-	b.sat.addClause([]lit{x, y.not(), o})
+	// xor(!x, y) = !xor(x, y): normalize both inputs to positive polarity
+	// and fold the parity into the output, so all four polarity variants
+	// share one gate.
+	neg := x.negated() != y.negated()
+	x, y = x&^1, y&^1
+	if x > y {
+		x, y = y, x
+	}
+	key := gateKey{op: gateXor, a: x, b: y}
+	o, ok := b.gates[key]
+	if !ok {
+		o = b.fresh()
+		b.sat.addClause([]lit{x.not(), y.not(), o.not()})
+		b.sat.addClause([]lit{x, y, o.not()})
+		b.sat.addClause([]lit{x.not(), y, o})
+		b.sat.addClause([]lit{x, y.not(), o})
+		b.gates[key] = o
+	}
+	if neg {
+		return o.not()
+	}
 	return o
 }
 
@@ -106,11 +154,21 @@ func (b *blaster) muxGate(s, x, y lit) lit {
 	if x == y {
 		return x
 	}
+	// mux(!s, x, y) = mux(s, y, x): normalize the selector to positive
+	// polarity so both selector phases share one gate.
+	if s.negated() {
+		s, x, y = s.not(), y, x
+	}
+	key := gateKey{op: gateMux, a: s, b: x, c: y}
+	if o, ok := b.gates[key]; ok {
+		return o
+	}
 	o := b.fresh()
 	b.sat.addClause([]lit{s.not(), x.not(), o})
 	b.sat.addClause([]lit{s.not(), x, o.not()})
 	b.sat.addClause([]lit{s, y.not(), o})
 	b.sat.addClause([]lit{s, y, o.not()})
+	b.gates[key] = o
 	return o
 }
 

@@ -11,12 +11,20 @@ import (
 // logically identical queries hit the cache even when their nodes were built
 // in different (e.g. per-bucket scratch) builders. Unknown verdicts are safe
 // to cache because they are a deterministic function of the query and the
-// solver's MaxConflicts budget, which is fixed per Solver.
+// solver's MaxConflicts budget, which is fixed per Solver; Sat verdicts
+// recorded from witness replay are safe because a concrete satisfying
+// assignment certifies Sat regardless of provenance (see triage.go).
+//
+// The cache is bounded by a two-generation scheme: entries are inserted into
+// the current generation, and when it fills, the current generation is
+// demoted to "previous" (dropping the old previous) rather than the whole
+// cache being cleared. Lookups consult both generations and promote
+// previous-generation hits, so a burst of queries that crosses the capacity
+// boundary retains its hot entries instead of restarting cold.
 
-// maxCacheEntries bounds the verdict cache; once full, the cache is cleared
-// rather than grown (the workload is bursts of related queries, so recent
-// entries matter most and a wholesale reset is simpler than eviction).
-const maxCacheEntries = 1 << 20
+// maxCacheGeneration bounds each of the two generations, so the cache holds
+// at most 2*maxCacheGeneration verdicts.
+const maxCacheGeneration = 1 << 19
 
 // cacheKey canonically serializes the conjunction query. Nodes are numbered
 // in first-visit (post-order) order and each is encoded with its kind,
@@ -53,21 +61,26 @@ func cacheKey(formulas []*expr.Node) string {
 	return string(buf)
 }
 
-// checkVerdict decides the conjunction like Check but without producing a
-// model, serving and populating the verdict cache. Queries answered from the
-// cache still count toward Queries (the logical query count stays
-// deterministic regardless of cache state) and increment CacheHits.
-func (s *Solver) checkVerdict(formulas ...*expr.Node) Result {
-	key := cacheKey(formulas)
+// cacheGet looks a verdict up in both generations. A hit in the previous
+// generation is promoted into the current one so it survives the next
+// rotation.
+func (s *Solver) cacheGet(key string) (Result, bool) {
 	if r, ok := s.cache[key]; ok {
-		s.Queries++
-		s.CacheHits++
-		return r
+		return r, true
 	}
-	r, _ := s.Check(formulas...)
-	if len(s.cache) >= maxCacheEntries {
-		s.cache = make(map[string]Result)
+	if r, ok := s.prevCache[key]; ok {
+		s.cachePut(key, r)
+		return r, true
+	}
+	return Unknown, false
+}
+
+// cachePut records a verdict, rotating generations when the current one is
+// full.
+func (s *Solver) cachePut(key string, r Result) {
+	if len(s.cache) >= maxCacheGeneration {
+		s.prevCache = s.cache
+		s.cache = make(map[string]Result, len(s.prevCache)/2)
 	}
 	s.cache[key] = r
-	return r
 }

@@ -31,26 +31,54 @@ type Options struct {
 	// MaxConflicts bounds CDCL search effort per query; exceeded queries
 	// return Unknown. Zero selects a generous default.
 	MaxConflicts int64
+	// DisableTriage turns off the concrete-screening and witness-reuse
+	// tiers of verdict queries (T1/T2), forcing every non-cached verdict
+	// through the bit-blaster. Verdicts are identical either way (triage
+	// only short-circuits refutations the blaster would also find); the
+	// switch exists for A/B benchmarking and the determinism tests.
+	DisableTriage bool
 }
 
 // Solver answers satisfiability, implication, and equivalence queries over
 // expr formulas. Verdict-only queries (Sat, Valid, Implies, EquivalentBV,
-// EquivalentBool) are memoized in a structural-key cache, so repeated checks
-// — e.g. the same implication asked for many gadget pairs, or the same
-// validity proof across payload concretizations — are answered without
-// re-bit-blasting. A Solver is safe to reuse across queries; it is not safe
-// for concurrent use (give each worker its own Solver).
+// EquivalentBool) escalate through a tiered triage pipeline — concrete
+// refutation, counterexample-witness reuse, a structural verdict cache —
+// before reaching the bit-blaster, so the overwhelmingly common
+// non-equivalent gadget pair is refuted for the cost of a few DAG
+// evaluations instead of a CNF solve (see triage.go). A Solver is safe to
+// reuse across queries; it is not safe for concurrent use (give each worker
+// its own Solver).
 type Solver struct {
 	opts Options
 
 	// Queries and Conflicts accumulate statistics across calls. Queries
-	// counts logical queries, including cache-served ones.
+	// counts logical queries, including ones served by a triage tier.
 	Queries   int64
 	Conflicts int64
-	// CacheHits counts verdict queries answered from the cache.
+	// CacheHits counts verdict queries answered from the verdict cache
+	// (triage tier T3).
 	CacheHits int64
+	// EvalRefuted counts verdict queries refuted by the deterministic
+	// concrete-evaluation battery (triage tier T1).
+	EvalRefuted int64
+	// WitnessRefuted counts verdict queries refuted by replaying a model
+	// retained from an earlier full solve (triage tier T2).
+	WitnessRefuted int64
+	// Blasted counts queries that reached the bit-blaster (triage tier T4,
+	// plus model-producing Check/Solve calls, which always blast).
+	Blasted int64
 
-	cache map[string]Result
+	// cache and prevCache are the two generations of the verdict cache
+	// (see cache.go). witnesses is the bounded store of Sat models kept
+	// for counterexample reuse (see witness.go).
+	cache     map[string]Result
+	prevCache map[string]Result
+	witnesses witnessStore
+
+	// Scratch state reused across triage probes (see triage.go).
+	varc     expr.VarCollector
+	eval     expr.Evaluator
+	probeEnv expr.Env
 }
 
 // New returns a solver with the given options.
@@ -68,24 +96,29 @@ func Default() *Solver { return New(Options{}) }
 // returns a model assigning every variable occurring in the formulas.
 func (s *Solver) Check(formulas ...*expr.Node) (Result, expr.Env) {
 	s.Queries++
+	return s.solve(formulas)
+}
 
-	// Fast path: simplification may have already decided each conjunct.
-	allTrue := true
+// solve is Check without the query accounting: the constant fast path
+// followed by the full bit-blast + CDCL solve. Sat models are retained in
+// the witness store for counterexample reuse by later verdict queries.
+func (s *Solver) solve(formulas []*expr.Node) (Result, expr.Env) {
+	// Fast path: simplification may have already decided the conjunction.
+	allConst := true
 	for _, f := range formulas {
 		v, ok := f.IsBoolConst()
-		if !ok {
-			allTrue = false
-			break
-		}
-		if !v {
+		if ok && !v {
 			return Unsat, nil
 		}
-		_ = v
+		if !ok {
+			allConst = false
+		}
 	}
-	if allTrue {
+	if allConst {
 		return Sat, expr.Env{}
 	}
 
+	s.Blasted++
 	sat := newSAT()
 	bl := newBlaster(sat)
 	for _, f := range formulas {
@@ -102,7 +135,9 @@ func (s *Solver) Check(formulas ...*expr.Node) (Result, expr.Env) {
 	s.Conflicts += sat.conflicts - before
 	switch res {
 	case resSat:
-		return Sat, bl.model(nil)
+		env := bl.model(nil)
+		s.witnesses.add(env)
+		return Sat, env
 	case resUnsat:
 		return Unsat, nil
 	default:

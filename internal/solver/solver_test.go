@@ -60,7 +60,7 @@ func TestMultiVariableModel(t *testing.T) {
 		t.Fatalf("result = %v", r)
 	}
 	gotX, gotY := env["x"], env["y"]
-	if gotX+gotY != 10 || (gotX*gotY)&0xFF != 21 {
+	if (gotX+gotY)&0xFF != 10 || (gotX*gotY)&0xFF != 21 {
 		t.Errorf("model x=%d y=%d does not solve system", gotX, gotY)
 	}
 }

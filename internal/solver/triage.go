@@ -1,0 +1,234 @@
+package solver
+
+import (
+	"github.com/nofreelunch/gadget-planner/internal/expr"
+)
+
+// Verdict-query triage. Subsumption testing issues an SMT query per
+// candidate gadget pair, and the overwhelming majority of those queries are
+// satisfiable — the pair is *not* equivalent, the implication does *not*
+// hold — which a single concrete evaluation can prove. Verdict-only queries
+// therefore escalate through tiers, each one or more orders of magnitude
+// cheaper than the next:
+//
+//	T1  concrete screening — evaluate the conjunction under a fixed,
+//	    deterministic battery of corner-case and pseudo-random
+//	    environments; any satisfying assignment is a Sat certificate.
+//	T2  witness reuse — replay models retained from earlier full solves
+//	    (witness.go); gadget pairs in a bucket tend to be separated by the
+//	    same few counterexamples.
+//	T3  the structural verdict cache (cache.go).
+//	T4  full bit-blast + CDCL (solver.go, blast.go).
+//
+// Soundness: T1/T2 only ever produce Sat, and only when a concrete
+// assignment satisfies the conjunction — a proof of satisfiability
+// regardless of where the assignment came from. Every verdict API branches
+// solely on Result == Unsat (Sat and Unknown are deliberately
+// indistinguishable: both mean "no proof of unsatisfiability"), and the
+// CDCL tier never answers Unsat for a satisfiable query, so a triage
+// refutation can never flip a verdict relative to the untriaged path. That
+// also makes caching a Sat obtained from a witness sound: at worst it
+// replaces an Unknown (conflict-budget exhaustion) with the strictly more
+// precise Sat, which all verdict APIs treat identically. The minimized
+// gadget pool is byte-identical with triage on or off, at every worker
+// count.
+//
+// Determinism of the counters: EvalRefuted is a pure function of the query
+// stream (the T1 battery is fixed). The WitnessRefuted / CacheHits /
+// Blasted split can shift with bucket scheduling — witness stores and
+// caches are per-solver — but their sum, and every verdict, cannot.
+
+// Size of the T1 battery: len(cornerValues) uniform corner environments,
+// triageMixedRounds mixed-corner environments, and triageRandomRounds
+// pseudo-random environments.
+const (
+	triageMixedRounds  = 4
+	triageRandomRounds = 8
+)
+
+// cornerValue returns the idx-th corner pattern for a variable of width w:
+// the classic boundary values (0, 1, 2, all-ones, the sign boundary) plus
+// alternating bit patterns. Corner environments bind *every* variable to
+// the same pattern, which is what refutes implications between equality
+// pre-conditions (e.g. rbx==rdx holds, rax==5 does not, under all-zeros).
+const numCorners = 8
+
+func cornerValue(idx int, w uint8) uint64 {
+	mask := ^uint64(0)
+	if w < 64 {
+		mask = 1<<w - 1
+	}
+	switch idx {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	case 2:
+		return mask // all ones (= -1)
+	case 3:
+		return 1 << (w - 1) // smallest negative (sign bit)
+	case 4:
+		return 1<<(w-1) - 1 // largest positive
+	case 5:
+		return 2
+	case 6:
+		return 0x5555_5555_5555_5555 & mask
+	default:
+		return 0xAAAA_AAAA_AAAA_AAAA & mask
+	}
+}
+
+// triageValue produces a deterministic pseudo-random value from a variable
+// name and round (FNV-1a into splitmix64). The seed constant differs from
+// the one subsume's fingerprinting uses: gadget pairs reaching the solver
+// already agree on the fingerprint environments, so replaying those exact
+// values would screen nothing.
+func triageValue(name string, round uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	z := h + (round+1)*0xD1B54A32D192ED03
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// checkVerdict decides the conjunction like Check but without producing a
+// model, escalating through the triage tiers. Queries answered by any tier
+// still count toward Queries, so the logical query count is independent of
+// triage, cache, and witness state.
+func (s *Solver) checkVerdict(formulas ...*expr.Node) Result {
+	s.Queries++
+
+	// Free tier: simplification may have decided every conjunct already.
+	// Answering here skips both the probe battery and the cache-key
+	// serialization.
+	allConst := true
+	for _, f := range formulas {
+		v, ok := f.IsBoolConst()
+		if ok && !v {
+			return Unsat
+		}
+		if !ok {
+			allConst = false
+		}
+	}
+	if allConst {
+		return Sat
+	}
+
+	// T1 + T2: concrete refutation.
+	var fromWitness bool
+	if !s.opts.DisableTriage {
+		refuted, byWitness := s.triageRefute(formulas)
+		if refuted && !byWitness {
+			s.EvalRefuted++
+			// Not cached: the battery is deterministic and re-refutes a
+			// repeat of this query for less than the key serialization
+			// would cost.
+			return Sat
+		}
+		if refuted {
+			s.WitnessRefuted++
+			fromWitness = true
+		}
+	}
+
+	// T3: structural verdict cache. A witness refutation is cached as Sat
+	// (sound — see the package comment above) so the verdict survives
+	// witness eviction.
+	key := cacheKey(formulas)
+	if fromWitness {
+		s.cachePut(key, Sat)
+		return Sat
+	}
+	if r, ok := s.cacheGet(key); ok {
+		s.CacheHits++
+		return r
+	}
+
+	// T4: full bit-blast + CDCL.
+	r, _ := s.solve(formulas)
+	s.cachePut(key, r)
+	return r
+}
+
+// triageRefute attempts to prove the conjunction satisfiable by concrete
+// evaluation: first under the deterministic T1 battery, then by replaying
+// stored witnesses (T2). It reports (refuted, refuted-by-witness).
+func (s *Solver) triageRefute(formulas []*expr.Node) (bool, bool) {
+	vars := s.varc.Collect(formulas...)
+	if len(vars) == 0 {
+		// No free variables and not constant-foldable (cannot happen with
+		// builder-simplified formulas); leave it to the solver.
+		return false, false
+	}
+	if s.probeEnv == nil {
+		s.probeEnv = make(expr.Env, len(vars))
+	} else {
+		clear(s.probeEnv)
+	}
+	env := s.probeEnv
+
+	// T1a: uniform corner environments.
+	for idx := 0; idx < numCorners; idx++ {
+		for _, v := range vars {
+			env[v.Name] = cornerValue(idx, v.Width)
+		}
+		if s.probe(formulas, env) {
+			return true, false
+		}
+	}
+	// T1b: mixed corners — each variable gets a name-dependent corner, so
+	// relations the uniform environments cannot break (x == y but with
+	// different corner demands) are probed too.
+	for round := 0; round < triageMixedRounds; round++ {
+		for _, v := range vars {
+			h := triageValue(v.Name, 0)
+			env[v.Name] = cornerValue(int((h+uint64(round))%numCorners), v.Width)
+		}
+		if s.probe(formulas, env) {
+			return true, false
+		}
+	}
+	// T1c: pseudo-random environments.
+	for round := 0; round < triageRandomRounds; round++ {
+		for _, v := range vars {
+			env[v.Name] = triageValue(v.Name, uint64(round))
+		}
+		if s.probe(formulas, env) {
+			return true, false
+		}
+	}
+
+	// T2: witness replay, most recently useful first. Witnesses bind the
+	// variables of the query that produced them; unbound variables default
+	// to zero, keeping the assignment total and the certificate sound.
+	for i := range s.witnesses.envs {
+		w := s.witnesses.envs[i]
+		for _, v := range vars {
+			env[v.Name] = w[v.Name] // missing -> 0
+		}
+		if s.probe(formulas, env) {
+			s.witnesses.touch(i)
+			return true, true
+		}
+	}
+	return false, false
+}
+
+// probe evaluates the conjunction under one total environment, memoizing
+// shared subterms across conjuncts. Evaluation errors (which builder-made
+// formulas cannot produce) abstain rather than refute.
+func (s *Solver) probe(formulas []*expr.Node, env expr.Env) bool {
+	s.eval.Reset()
+	for _, f := range formulas {
+		v, err := s.eval.EvalBool(f, env)
+		if err != nil || !v {
+			return false
+		}
+	}
+	return true
+}

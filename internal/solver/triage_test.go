@@ -1,0 +1,279 @@
+package solver
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"github.com/nofreelunch/gadget-planner/internal/expr"
+)
+
+// TestTriageVerdictsMatchBruteForce is the triage ground-truth property
+// test: for random narrow-width formula DAGs, every verdict API must agree
+// with exhaustive enumeration over all environments, with triage on and
+// off, and the two solvers must agree with each other.
+func TestTriageVerdictsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 60; iter++ {
+		b := expr.NewBuilder()
+		x := b.Var("x", 8)
+		y := b.Var("y", 8)
+		vars := []*expr.Node{x, y}
+		p := randomBool(rng, b, vars, 3)
+		q := randomBool(rng, b, vars, 3)
+
+		// Brute-force truths over the full 2^16 environment space,
+		// stopping once all three are settled.
+		pSat, pValid := false, true
+		impliesPQ := true
+	scan:
+		for xv := 0; xv < 256; xv++ {
+			for yv := 0; yv < 256; yv++ {
+				env := expr.Env{"x": uint64(xv), "y": uint64(yv)}
+				pv, err := expr.EvalBool(p, env)
+				if err != nil {
+					t.Fatalf("eval: %v", err)
+				}
+				qv, err := expr.EvalBool(q, env)
+				if err != nil {
+					t.Fatalf("eval: %v", err)
+				}
+				pSat = pSat || pv
+				pValid = pValid && pv
+				if pv && !qv {
+					impliesPQ = false
+				}
+				if pSat && !pValid && !impliesPQ {
+					break scan
+				}
+			}
+		}
+
+		triage := Default()
+		blast := New(Options{DisableTriage: true})
+		for name, s := range map[string]*Solver{"triage": triage, "blast": blast} {
+			if got := s.Sat(p); got != pSat {
+				t.Errorf("iter %d [%s]: Sat(%s) = %v, brute force %v", iter, name, p, got, pSat)
+			}
+			if got := s.Valid(b, p); got != pValid {
+				t.Errorf("iter %d [%s]: Valid(%s) = %v, brute force %v", iter, name, p, got, pValid)
+			}
+			if got := s.Implies(b, p, q); got != impliesPQ {
+				t.Errorf("iter %d [%s]: Implies = %v, brute force %v", iter, name, got, impliesPQ)
+			}
+		}
+	}
+}
+
+// TestTriageEquivalenceMatchesBruteForce does the same for bitvector-term
+// equivalence, the subsumption equal-post query shape.
+func TestTriageEquivalenceMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 80; iter++ {
+		b := expr.NewBuilder()
+		x := b.Var("x", 8)
+		y := b.Var("y", 8)
+		vars := []*expr.Node{x, y}
+		u := randomBV(rng, b, vars, 3)
+		v := randomBV(rng, b, vars, 3)
+
+		equal := true
+	outer:
+		for xv := 0; xv < 256; xv++ {
+			for yv := 0; yv < 256; yv++ {
+				env := expr.Env{"x": uint64(xv), "y": uint64(yv)}
+				uv, err := expr.Eval(u, env)
+				if err != nil {
+					t.Fatalf("eval: %v", err)
+				}
+				vv, err := expr.Eval(v, env)
+				if err != nil {
+					t.Fatalf("eval: %v", err)
+				}
+				if uv != vv {
+					equal = false
+					break outer
+				}
+			}
+		}
+
+		triage := Default()
+		blast := New(Options{DisableTriage: true})
+		if got := triage.EquivalentBV(b, u, v); got != equal {
+			t.Errorf("iter %d [triage]: EquivalentBV(%s, %s) = %v, brute force %v", iter, u, v, got, equal)
+		}
+		if got := blast.EquivalentBV(b, u, v); got != equal {
+			t.Errorf("iter %d [blast]: EquivalentBV(%s, %s) = %v, brute force %v", iter, u, v, got, equal)
+		}
+	}
+}
+
+// TestTriageCountsTiers checks the counters: an easily refuted implication
+// is screened by T1 without blasting, and a valid identity must blast.
+func TestTriageCountsTiers(t *testing.T) {
+	b := expr.NewBuilder()
+	x := b.Var("x", 64)
+	y := b.Var("y", 64)
+	s := Default()
+
+	// x != y in general: refuted by concrete screening.
+	if s.EquivalentBV(b, x, y) {
+		t.Fatal("distinct variables equivalent?")
+	}
+	if s.EvalRefuted != 1 || s.Blasted != 0 {
+		t.Errorf("after refutable query: eval=%d blasted=%d, want 1/0", s.EvalRefuted, s.Blasted)
+	}
+
+	// A true identity cannot be refuted concretely and must be blasted.
+	if !s.EquivalentBV(b, b.Xor(x, y), b.Or(b.And(b.Not(x), y), b.And(x, b.Not(y)))) {
+		t.Fatal("xor identity failed")
+	}
+	if s.Blasted != 1 {
+		t.Errorf("after identity proof: blasted=%d, want 1", s.Blasted)
+	}
+
+	// Repeating the identity is a cache hit, not another blast.
+	if !s.EquivalentBV(b, b.Xor(x, y), b.Or(b.And(b.Not(x), y), b.And(x, b.Not(y)))) {
+		t.Fatal("xor identity failed on repeat")
+	}
+	if s.CacheHits != 1 || s.Blasted != 1 {
+		t.Errorf("after repeat: cached=%d blasted=%d, want 1/1", s.CacheHits, s.Blasted)
+	}
+}
+
+// TestWitnessReuse forces a query whose refutation the T1 battery cannot
+// find, then checks the witness from the full solve screens a second query
+// refuted by the same assignment.
+func TestWitnessReuse(t *testing.T) {
+	b := expr.NewBuilder()
+	x := b.Var("x", 64)
+	s := Default()
+
+	// x == 0xDECAF: satisfiable only at a value no corner or pseudo-random
+	// probe hits, so the first query must blast and yields the model as a
+	// witness.
+	magic := b.Eq(x, b.Const(0xDECAF, 64))
+	if !s.Sat(magic) {
+		t.Fatal("x == 0xDECAF should be satisfiable")
+	}
+	if s.Blasted != 1 || s.EvalRefuted != 0 {
+		t.Fatalf("first query: blasted=%d eval=%d, want 1/0", s.Blasted, s.EvalRefuted)
+	}
+
+	// x == 0xDECAF && x != 5: the same witness refutes the validity of the
+	// negation (i.e. proves Sat) without blasting.
+	f := b.BAnd(magic, b.Ne(x, b.Const(5, 64)))
+	if !s.Sat(f) {
+		t.Fatal("conjunction should be satisfiable")
+	}
+	if s.WitnessRefuted != 1 {
+		t.Errorf("witness refutations = %d, want 1 (blasted=%d)", s.WitnessRefuted, s.Blasted)
+	}
+	if s.Blasted != 1 {
+		t.Errorf("second query blasted (blasted=%d), want witness reuse", s.Blasted)
+	}
+}
+
+func TestWitnessStoreBounds(t *testing.T) {
+	var w witnessStore
+	for i := 0; i < 3*maxWitnesses; i++ {
+		w.add(expr.Env{"v": uint64(i)})
+	}
+	if len(w.envs) != maxWitnesses {
+		t.Fatalf("store grew to %d, cap %d", len(w.envs), maxWitnesses)
+	}
+	// Most recent first.
+	if w.envs[0]["v"] != uint64(3*maxWitnesses-1) {
+		t.Errorf("front = %v, want most recent", w.envs[0])
+	}
+	// touch moves an entry to the front.
+	last := w.envs[len(w.envs)-1]
+	w.touch(len(w.envs) - 1)
+	if w.envs[0]["v"] != last["v"] {
+		t.Errorf("touch did not move entry to front")
+	}
+	if len(w.envs) != maxWitnesses {
+		t.Errorf("touch changed size to %d", len(w.envs))
+	}
+}
+
+// TestCacheGenerations exercises the two-generation rotation directly: a
+// burst past the per-generation capacity must retain recent entries instead
+// of discarding everything.
+func TestCacheGenerations(t *testing.T) {
+	s := Default()
+	// Fill exactly one generation.
+	for i := 0; i < maxCacheGeneration; i++ {
+		s.cachePut(strconv.Itoa(i), Sat)
+	}
+	if len(s.prevCache) != 0 {
+		t.Fatalf("premature rotation: prev=%d", len(s.prevCache))
+	}
+	// The next insert rotates; the old generation must remain readable.
+	s.cachePut("fresh", Unsat)
+	if len(s.prevCache) != maxCacheGeneration {
+		t.Fatalf("rotation did not demote: prev=%d", len(s.prevCache))
+	}
+	if r, ok := s.cacheGet("7"); !ok || r != Sat {
+		t.Fatalf("previous-generation entry lost after rotation")
+	}
+	// The hit promoted the entry into the current generation.
+	if _, ok := s.cache["7"]; !ok {
+		t.Errorf("previous-generation hit was not promoted")
+	}
+	if r, ok := s.cacheGet("fresh"); !ok || r != Unsat {
+		t.Fatalf("current-generation entry lost")
+	}
+}
+
+// TestGateHashConsingShares proves the gate-level memoization shares CNF
+// across structurally identical gates from different expr nodes: lowering
+// ult(x,y) and slt(x,y) together must cost fewer clauses than the sum of
+// lowering them separately (both build the same subtractor).
+func TestGateHashConsingShares(t *testing.T) {
+	b := expr.NewBuilder()
+	x := b.Var("x", 16)
+	y := b.Var("y", 16)
+
+	clausesFor := func(nodes ...*expr.Node) int {
+		sat := newSAT()
+		bl := newBlaster(sat)
+		for _, n := range nodes {
+			if _, err := bl.boolLit(n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return len(sat.clauses)
+	}
+
+	ult := clausesFor(b.Ult(x, y))
+	slt := clausesFor(b.Slt(x, y))
+	both := clausesFor(b.Ult(x, y), b.Slt(x, y))
+	if both >= ult+slt {
+		t.Errorf("no sharing: ult=%d slt=%d together=%d", ult, slt, both)
+	}
+}
+
+// TestTriageDisabledMatches pins that the DisableTriage switch changes no
+// verdict on the solver's own test identities.
+func TestTriageDisabledMatches(t *testing.T) {
+	b := expr.NewBuilder()
+	x := b.Var("x", 64)
+	y := b.Var("y", 64)
+	on := Default()
+	off := New(Options{DisableTriage: true})
+	cases := []*expr.Node{
+		b.Eq(b.Add(x, y), b.Add(b.Xor(x, y), b.Shl(b.And(x, y), b.Const(1, 64)))),
+		b.Eq(b.Add(x, y), b.Sub(x, y)),
+		b.Ult(x, b.Const(10, 64)),
+		b.BAnd(b.Eq(x, b.Const(3, 64)), b.Eq(x, b.Const(4, 64))),
+	}
+	for i, f := range cases {
+		if got, want := on.Sat(f), off.Sat(f); got != want {
+			t.Errorf("case %d: triage Sat=%v, blast Sat=%v", i, got, want)
+		}
+		if got, want := on.Valid(b, f), off.Valid(b, f); got != want {
+			t.Errorf("case %d: triage Valid=%v, blast Valid=%v", i, got, want)
+		}
+	}
+}

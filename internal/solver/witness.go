@@ -1,0 +1,45 @@
+package solver
+
+import "github.com/nofreelunch/gadget-planner/internal/expr"
+
+// maxWitnesses bounds the per-solver witness store. Subsumption buckets are
+// homogeneous — a few dozen counterexample environments refute nearly every
+// non-equivalent gadget pair in a bucket — so a small MRU list captures
+// almost all of the reuse while keeping replay cost bounded.
+const maxWitnesses = 64
+
+// witnessStore retains models produced by full SAT solves so later verdict
+// queries can be refuted by replaying a known-interesting assignment instead
+// of bit-blasting (triage tier T2). Entries are kept most-recently-useful
+// first: a witness that refutes a query moves to the front, and insertion
+// past capacity drops the least recently useful entry.
+//
+// Witnesses are partial environments (they bind the variables of the query
+// that produced them); replay fills unbound variables with zero, which keeps
+// the replayed assignment concrete and therefore sound as a Sat certificate.
+type witnessStore struct {
+	envs []expr.Env
+}
+
+// add inserts a model at the front of the store, evicting from the tail
+// beyond capacity. Empty models carry no information and are dropped.
+func (w *witnessStore) add(env expr.Env) {
+	if len(env) == 0 {
+		return
+	}
+	if len(w.envs) < maxWitnesses {
+		w.envs = append(w.envs, nil)
+	}
+	copy(w.envs[1:], w.envs)
+	w.envs[0] = env
+}
+
+// touch marks the witness at index i as useful, moving it to the front.
+func (w *witnessStore) touch(i int) {
+	if i <= 0 || i >= len(w.envs) {
+		return
+	}
+	env := w.envs[i]
+	copy(w.envs[1:i+1], w.envs[:i])
+	w.envs[0] = env
+}

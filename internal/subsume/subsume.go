@@ -49,6 +49,11 @@ type Options struct {
 	// 0 selects runtime.GOMAXPROCS(0); 1 runs single-threaded. The result
 	// is identical at every worker count.
 	Parallelism int
+	// DisableTriage turns off the solver's concrete-refutation tiers
+	// (solver.Options.DisableTriage), forcing every non-cached verdict
+	// query through the bit-blaster. The minimized pool is identical
+	// either way; the switch exists for A/B benchmarking.
+	DisableTriage bool
 }
 
 func (o Options) withDefaults() Options {
@@ -66,13 +71,25 @@ func (o Options) withDefaults() Options {
 
 // Stats reports what minimization did.
 type Stats struct {
-	Before        int
-	After         int
-	RemovedIdent  int   // removed via structural (pointer) identity
-	RemovedProved int   // removed via solver-proved subsumption
-	SolverQueries int64 // logical SAT queries issued (cache hits included)
-	CacheHits     int64 // queries answered by the solver verdict cache
-	Buckets       int   // fingerprint buckets examined
+	Before         int
+	After          int
+	RemovedIdent   int   // removed via structural (pointer) identity
+	RemovedProved  int   // removed via solver-proved subsumption
+	SolverQueries  int64 // logical SAT queries issued (triage-served included)
+	CacheHits      int64 // queries answered by the solver verdict cache (T3)
+	EvalRefuted    int64 // queries refuted by concrete screening (T1)
+	WitnessRefuted int64 // queries refuted by witness replay (T2)
+	Blasted        int64 // queries that reached the bit-blaster (T4)
+	Buckets        int   // fingerprint buckets examined
+}
+
+// TriageShare is the fraction of solver queries resolved without
+// bit-blasting (triage tiers T1–T3 plus constant folding).
+func (s Stats) TriageShare() float64 {
+	if s.SolverQueries == 0 {
+		return 0
+	}
+	return 1 - float64(s.Blasted)/float64(s.SolverQueries)
 }
 
 // ReductionFactor returns Before/After (the paper reports an average 2.97x).
@@ -85,9 +102,9 @@ func (s Stats) ReductionFactor() float64 {
 
 // String renders a one-line summary.
 func (s Stats) String() string {
-	return fmt.Sprintf("subsume: %d -> %d (%.2fx; ident=%d proved=%d queries=%d cached=%d)",
+	return fmt.Sprintf("subsume: %d -> %d (%.2fx; ident=%d proved=%d queries=%d eval=%d wit=%d cached=%d blasted=%d)",
 		s.Before, s.After, s.ReductionFactor(), s.RemovedIdent, s.RemovedProved,
-		s.SolverQueries, s.CacheHits)
+		s.SolverQueries, s.EvalRefuted, s.WitnessRefuted, s.CacheHits, s.Blasted)
 }
 
 // bucketStats is one bucket's contribution to the aggregate Stats.
@@ -128,9 +145,10 @@ func Minimize(pool *gadget.Pool, opts Options) (*gadget.Pool, Stats) {
 	if workers > len(buckets) {
 		workers = len(buckets)
 	}
+	solverOpts := solver.Options{MaxConflicts: opts.MaxConflicts, DisableTriage: opts.DisableTriage}
 	solvers := make([]*solver.Solver, 0, workers)
 	if workers <= 1 {
-		s := solver.New(solver.Options{MaxConflicts: opts.MaxConflicts})
+		s := solver.New(solverOpts)
 		solvers = append(solvers, s)
 		for i, bucket := range buckets {
 			kept[i] = minimizeBucket(s, bucket, &bstats[i])
@@ -139,7 +157,7 @@ func Minimize(pool *gadget.Pool, opts Options) (*gadget.Pool, Stats) {
 		next := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
-			s := solver.New(solver.Options{MaxConflicts: opts.MaxConflicts})
+			s := solver.New(solverOpts)
 			solvers = append(solvers, s)
 			wg.Add(1)
 			go func() {
@@ -163,6 +181,9 @@ func Minimize(pool *gadget.Pool, opts Options) (*gadget.Pool, Stats) {
 	for _, s := range solvers {
 		stats.SolverQueries += s.Queries
 		stats.CacheHits += s.CacheHits
+		stats.EvalRefuted += s.EvalRefuted
+		stats.WitnessRefuted += s.WitnessRefuted
+		stats.Blasted += s.Blasted
 	}
 
 	out := &gadget.Pool{
