@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-solver check
+.PHONY: build test vet race bench bench-solver bench-planner check
 
 build:
 	$(GO) build ./...
@@ -21,5 +21,11 @@ bench:
 bench-solver:
 	$(GO) run ./cmd/experiments -run solverbench
 
-# CI gate: static checks plus the full test suite under the race detector.
-check: vet race
+# Multi-goal planner benchmark (serial seed path vs cached parallel search);
+# writes BENCH_PLANNER.json and cross-checks plan/payload identity.
+bench-planner:
+	$(GO) run ./cmd/experiments -run plannerbench
+
+# CI gate: static checks, the full test suite under the race detector, and
+# the planner benchmark's built-in determinism cross-check.
+check: vet race bench-planner

@@ -7,7 +7,8 @@
 //
 // Experiments: fig1, table1, table4 (includes table5), fig5, table6,
 // table7, netperf, composition, ablation, pipeline (writes
-// BENCH_PIPELINE.json), solverbench (writes BENCH_SOLVER.json).
+// BENCH_PIPELINE.json), solverbench (writes BENCH_SOLVER.json),
+// plannerbench (writes BENCH_PLANNER.json).
 package main
 
 import (
@@ -37,6 +38,7 @@ func run() error {
 	parallel := flag.Int("parallel", 0, "experiment-cell workers (0 = all cores, 1 = serial; results are identical)")
 	benchJSON := flag.String("benchjson", "BENCH_PIPELINE.json", "output path for the pipeline benchmark")
 	solverJSON := flag.String("solverjson", "BENCH_SOLVER.json", "output path for the solver triage benchmark")
+	plannerJSON := flag.String("plannerjson", "BENCH_PLANNER.json", "output path for the planner benchmark")
 	flag.Parse()
 
 	opts := experiments.Options{Seed: *seed, Quick: *quick, Parallelism: *parallel}
@@ -149,6 +151,22 @@ func run() error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *solverJSON)
+	}
+	if want("plannerbench") {
+		res, err := experiments.BenchPlanner(opts)
+		if err != nil {
+			return err
+		}
+		section("Planner benchmark — multi-goal planning, serial vs parallel")
+		fmt.Print(experiments.RenderPlannerBench(res))
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*plannerJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *plannerJSON)
 	}
 	if want("ablation") {
 		sub, err := experiments.AblationSubsumption(opts)

@@ -34,6 +34,7 @@ func run() error {
 	timeout := flag.Duration("timeout", 30*time.Second, "planning timeout per goal")
 	parallel := flag.Int("parallel", 0, "analysis workers (0 = all cores, 1 = serial; results are identical)")
 	noTriage := flag.Bool("notriage", false, "disable solver query triage (A/B benchmarking; results are identical)")
+	noPlanCache := flag.Bool("noplancache", false, "disable the planner's provider cache (A/B benchmarking; results are identical)")
 	flag.Parse()
 
 	if *binPath == "" {
@@ -49,7 +50,7 @@ func run() error {
 	}
 
 	cfg := core.Config{
-		Planner:     planner.Options{MaxPlans: *maxPlans, Timeout: *timeout},
+		Planner:     planner.Options{MaxPlans: *maxPlans, Timeout: *timeout, DisableCache: *noPlanCache},
 		Parallelism: *parallel,
 	}
 	cfg.Subsume.DisableTriage = *noTriage
@@ -73,8 +74,8 @@ func run() error {
 
 	for _, goal := range goals {
 		atk := analysis.FindPayloads(goal)
-		fmt.Printf("\n== %s: %d verified payloads (search expanded %d nodes) ==\n",
-			goal.Name, len(atk.Payloads), atk.Search.Expanded)
+		fmt.Printf("\n== %s: %d verified payloads ==\n", goal.Name, len(atk.Payloads))
+		fmt.Printf("search: %s\n", atk.Search.StatsLine())
 		for i, pl := range atk.Payloads {
 			fmt.Printf("payload %d: %d bytes, %d gadgets\n", i+1, len(pl.Bytes), len(pl.Chain))
 			if *verbose {

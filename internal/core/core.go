@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"github.com/nofreelunch/gadget-planner/internal/gadget"
@@ -41,10 +42,10 @@ type Config struct {
 	// SkipVerify accepts solver-concretized payloads without emulating
 	// them (used only by performance benchmarks).
 	SkipVerify bool
-	// Parallelism is how many workers extraction and subsumption may use
-	// (0 = runtime.GOMAXPROCS(0), 1 = single-threaded). Stage-level
-	// settings in Extract/Subsume, when non-zero, take precedence.
-	// Results are identical at every worker count.
+	// Parallelism is how many workers extraction, subsumption, and
+	// planning may use (0 = runtime.GOMAXPROCS(0), 1 = single-threaded).
+	// Stage-level settings in Extract/Subsume/Planner, when non-zero,
+	// take precedence. Results are identical at every worker count.
 	Parallelism int
 }
 
@@ -64,6 +65,9 @@ func (c Config) withDefaults() Config {
 	if c.Subsume.Parallelism == 0 {
 		c.Subsume.Parallelism = c.Parallelism
 	}
+	if c.Planner.Parallelism == 0 {
+		c.Planner.Parallelism = c.Parallelism
+	}
 	return c
 }
 
@@ -77,17 +81,21 @@ type StageTiming struct {
 }
 
 func timeStage(name string, timings *[]StageTiming, f func()) {
+	*timings = append(*timings, stageTiming(name, f))
+}
+
+func stageTiming(name string, f func()) StageTiming {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
 	f()
 	d := time.Since(start)
 	runtime.ReadMemStats(&after)
-	*timings = append(*timings, StageTiming{
+	return StageTiming{
 		Name:       name,
 		Duration:   d,
 		AllocBytes: after.TotalAlloc - before.TotalAlloc,
-	})
+	}
 }
 
 // Analysis is the result of stages 1–2 on one binary.
@@ -171,41 +179,87 @@ type Attack struct {
 // Every returned payload has been validated end-to-end in the emulator
 // against the analyzed binary (unless SkipVerify).
 func (a *Analysis) FindPayloads(goal planner.Goal) *Attack {
-	cfg := a.cfg
-	atk := &Attack{Goal: goal}
-	conc := payload.NewConcretizer(a.Pool, a.Binary, cfg.PayloadBase)
-
-	opts := cfg.Planner
-	opts.Validate = func(p *planner.Plan) bool {
-		pl, err := conc.Concretize(p, goal)
-		if err != nil {
-			atk.ConcretizeFailures++
-			return false
-		}
-		if !cfg.SkipVerify {
-			if err := payload.Verify(a.Binary, pl, cfg.VerifySteps); err != nil {
-				atk.ConcretizeFailures++
-				return false
-			}
-		}
-		atk.Payloads = append(atk.Payloads, pl)
-		return true
-	}
-
-	var res *planner.Result
-	timeStage("planning:"+goal.Name, &a.Timings, func() {
-		res = planner.Search(a.Pool, goal, opts)
-	})
-	atk.Search = *res
-	atk.Plans = res.Plans
+	atk, timing := a.findPayloads(goal)
+	a.Timings = append(a.Timings, timing)
 	return atk
 }
 
-// FindAll runs all three standard attack goals (Table IV columns).
+// findPayloads is FindPayloads without the shared-state bookkeeping, so
+// FindAll can fan goals out across goroutines. The search runs on a
+// private deep copy of the pool: payload concretization interns fresh
+// expression nodes into the pool builder, so goals sharing one builder
+// would race — and because the clone is built deterministically, results
+// are a function of the pool alone, identical however many goals run
+// concurrently.
+func (a *Analysis) findPayloads(goal planner.Goal) (*Attack, StageTiming) {
+	cfg := a.cfg
+	atk := &Attack{Goal: goal}
+	timing := stageTiming("planning:"+goal.Name, func() {
+		pool := gadget.ClonePool(a.Pool)
+		conc := payload.NewConcretizer(pool, a.Binary, cfg.PayloadBase)
+
+		opts := cfg.Planner
+		opts.Validate = func(p *planner.Plan) bool {
+			pl, err := conc.Concretize(p, goal)
+			if err != nil {
+				atk.ConcretizeFailures++
+				return false
+			}
+			if !cfg.SkipVerify {
+				if err := payload.Verify(a.Binary, pl, cfg.VerifySteps); err != nil {
+					atk.ConcretizeFailures++
+					return false
+				}
+			}
+			atk.Payloads = append(atk.Payloads, pl)
+			return true
+		}
+
+		res := planner.Search(pool, goal, opts)
+		atk.Search = *res
+		atk.Plans = res.Plans
+	})
+	return atk, timing
+}
+
+// FindAll runs all three standard attack goals (Table IV columns). The
+// goals are fanned out on Config.Parallelism workers; results and timing
+// rows are collected in the canonical goal order, so output is identical
+// to the serial path.
 func (a *Analysis) FindAll() map[string]*Attack {
-	out := make(map[string]*Attack, 3)
-	for _, goal := range planner.Goals() {
-		out[goal.Name] = a.FindPayloads(goal)
+	goals := planner.Goals()
+	attacks := make([]*Attack, len(goals))
+	timings := make([]StageTiming, len(goals))
+	workers := a.cfg.Parallelism
+	if workers > len(goals) {
+		workers = len(goals)
+	}
+	if workers <= 1 {
+		for i, goal := range goals {
+			attacks[i], timings[i] = a.findPayloads(goal)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					attacks[i], timings[i] = a.findPayloads(goals[i])
+				}
+			}()
+		}
+		for i := range goals {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	out := make(map[string]*Attack, len(goals))
+	for i, goal := range goals {
+		a.Timings = append(a.Timings, timings[i])
+		out[goal.Name] = attacks[i]
 	}
 	return out
 }

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/nofreelunch/gadget-planner/internal/benchprog"
+	"github.com/nofreelunch/gadget-planner/internal/core"
+	"github.com/nofreelunch/gadget-planner/internal/obfuscate"
+	"github.com/nofreelunch/gadget-planner/internal/planner"
+)
+
+// PlannerCounts aggregates the planner's search counters across goals, the
+// planning-stage analogue of SolverTierCounts.
+type PlannerCounts struct {
+	Expanded       int64 `json:"expanded"`
+	Generated      int64 `json:"generated"`
+	Batches        int64 `json:"batches"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	TruncatedSeeds int64 `json:"truncated_seeds"`
+}
+
+func (c *PlannerCounts) addSearch(r *planner.Result) {
+	c.Expanded += int64(r.Expanded)
+	c.Generated += int64(r.Generated)
+	c.Batches += int64(r.Batches)
+	c.CacheHits += r.CacheHits
+	c.CacheMisses += r.CacheMisses
+	c.TruncatedSeeds += int64(r.TruncatedSeeds)
+}
+
+// HitRate is the provider-cache hit fraction.
+func (c PlannerCounts) HitRate() float64 {
+	total := c.CacheHits + c.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.CacheHits) / float64(total)
+}
+
+// PlannerBench is the machine-readable multi-goal planning benchmark
+// (BENCH_PLANNER.json), structured like SolverBench: an end-to-end section
+// runs core.FindAll (planning plus payload validation) and cross-checks
+// that plans and payload bytes are identical at every worker count against
+// the serial cache-off reference, and a search section measures the
+// planning stage alone — the three goal searches with no validation cap,
+// where the overhaul's work actually lives — serial seed path (one worker,
+// caches off) versus the overhauled path (cache on, batch-parallel
+// frontier). Speedup is the search-section headline.
+type PlannerBench struct {
+	Program      string `json:"program"`
+	Obfuscation  string `json:"obfuscation"`
+	WorkerCounts []int  `json:"worker_counts"`
+	BenchWorkers int    `json:"bench_workers"`
+
+	// End-to-end: core.FindAll, goal fan-out plus in-search parallelism.
+	FindAllSerialSeconds   float64 `json:"findall_serial_seconds"`
+	FindAllParallelSeconds float64 `json:"findall_parallel_seconds"`
+	FindAllSpeedup         float64 `json:"findall_speedup"`
+	Plans                  int     `json:"plans"`
+	Payloads               int     `json:"payloads"`
+	ResultsIdentical       bool    `json:"results_identical"`
+
+	// Search: the three goal searches, deep frontier, validation excluded.
+	SearchSerialSeconds   float64       `json:"search_serial_seconds"`
+	SearchParallelSeconds float64       `json:"search_parallel_seconds"`
+	Speedup               float64       `json:"speedup"`
+	SearchPlansIdentical  bool          `json:"search_plans_identical"`
+	Serial                PlannerCounts `json:"serial_counters"`
+	Parallel              PlannerCounts `json:"parallel_counters"`
+	CacheHitRate          float64       `json:"cache_hit_rate"`
+}
+
+// plannerWorkerCounts are the parallelism settings cross-checked for
+// plan/payload identity against the serial cache-off reference; the last
+// entry is the measured configuration.
+var plannerWorkerCounts = []int{1, 2, 8}
+
+// BenchPlanner measures the planner overhaul end to end. cmd/experiments
+// writes the result as BENCH_PLANNER.json.
+func BenchPlanner(opts Options) (*PlannerBench, error) {
+	opts = opts.withDefaults()
+	// Planning — not extraction — is the subject: give the search a real
+	// node budget and a wide candidate budget so the frontier machinery
+	// dominates the measurement (quick runs keep their trimmed budget).
+	// Tigress produces the largest, most syscall-rich pool of the bench
+	// obfuscators, i.e. the deepest search.
+	if !opts.Quick {
+		if opts.Planner.MaxNodes < 30000 {
+			opts.Planner.MaxNodes = 30000
+		}
+		if opts.Planner.Candidates < 32 {
+			opts.Planner.Candidates = 32
+		}
+	}
+	benchWorkers := plannerWorkerCounts[len(plannerWorkerCounts)-1]
+	res := &PlannerBench{
+		Program:              "netperf-sim",
+		Obfuscation:          "Tigress",
+		WorkerCounts:         plannerWorkerCounts,
+		BenchWorkers:         benchWorkers,
+		ResultsIdentical:     true,
+		SearchPlansIdentical: true,
+	}
+
+	prog := benchprog.Netperf()
+	bin, err := benchprog.Build(prog, obfuscate.Tigress(), opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// End-to-end: serial seed path (one worker everywhere, caches off)
+	// versus parallel worker counts, plans and payload bytes cross-checked.
+	serialPlanner := opts.Planner
+	serialPlanner.DisableCache = true
+	aSerial := core.Analyze(bin, core.Config{Parallelism: 1, Planner: serialPlanner})
+	start := time.Now()
+	refAttacks := aSerial.FindAll()
+	res.FindAllSerialSeconds = time.Since(start).Seconds()
+	refFP := attackFingerprint(refAttacks)
+
+	for _, wc := range plannerWorkerCounts {
+		a := core.Analyze(bin, core.Config{Parallelism: wc, Planner: opts.Planner})
+		start = time.Now()
+		attacks := a.FindAll()
+		secs := time.Since(start).Seconds()
+		if attackFingerprint(attacks) != refFP {
+			res.ResultsIdentical = false
+		}
+		if wc == benchWorkers {
+			res.FindAllParallelSeconds = secs
+			for _, goal := range planner.Goals() {
+				res.Plans += len(attacks[goal.Name].Plans)
+				res.Payloads += len(attacks[goal.Name].Payloads)
+			}
+		}
+	}
+	res.FindAllSpeedup = speedup(res.FindAllSerialSeconds, res.FindAllParallelSeconds)
+
+	// Search section: let the frontier run its full node budget (no
+	// validation, no plan cap) — the planning-stage analogue of the solver
+	// bench's micro stream.
+	searchOpts := opts.Planner
+	searchOpts.MaxPlans = 1 << 20
+	if searchOpts.Timeout < time.Minute {
+		searchOpts.Timeout = time.Minute
+	}
+	a := core.Analyze(bin, core.Config{Parallelism: 1, Planner: searchOpts})
+
+	runSearches := func(parallelism int, disableCache bool) (float64, PlannerCounts, string) {
+		o := searchOpts
+		o.Parallelism = parallelism
+		o.DisableCache = disableCache
+		var counts PlannerCounts
+		var fp strings.Builder
+		start := time.Now()
+		for _, goal := range planner.Goals() {
+			r := planner.Search(a.Pool, goal, o)
+			counts.addSearch(r)
+			fmt.Fprintf(&fp, "%s expanded=%d generated=%d plans=%d\n",
+				goal.Name, r.Expanded, r.Generated, len(r.Plans))
+			for _, p := range r.Plans {
+				fmt.Fprintf(&fp, "  plan %s\n", p.Signature())
+			}
+		}
+		return time.Since(start).Seconds(), counts, fp.String()
+	}
+
+	var searchRefFP string
+	res.SearchSerialSeconds, res.Serial, searchRefFP = runSearches(1, true)
+	for _, wc := range plannerWorkerCounts {
+		secs, counts, fp := runSearches(wc, false)
+		if fp != searchRefFP {
+			res.SearchPlansIdentical = false
+		}
+		if wc == benchWorkers {
+			res.SearchParallelSeconds = secs
+			res.Parallel = counts
+		}
+	}
+	res.Speedup = speedup(res.SearchSerialSeconds, res.SearchParallelSeconds)
+	res.CacheHitRate = res.Parallel.HitRate()
+	return res, nil
+}
+
+// attackFingerprint renders a FindAll result byte-for-byte: goal order,
+// plan signatures, and payload bytes. Two runs are interchangeable iff
+// their fingerprints match.
+func attackFingerprint(attacks map[string]*core.Attack) string {
+	var sb strings.Builder
+	for _, goal := range planner.Goals() {
+		atk := attacks[goal.Name]
+		fmt.Fprintf(&sb, "%s plans=%d payloads=%d\n", goal.Name, len(atk.Plans), len(atk.Payloads))
+		for _, p := range atk.Plans {
+			fmt.Fprintf(&sb, "  plan %s\n", p.Signature())
+		}
+		for _, pl := range atk.Payloads {
+			fmt.Fprintf(&sb, "  payload %x\n", pl.Bytes)
+		}
+	}
+	return sb.String()
+}
+
+// RenderPlannerBench prints the benchmark as a table.
+func RenderPlannerBench(b *PlannerBench) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "planner bench: %s %s, 3 goals\n", b.Program, b.Obfuscation)
+	fmt.Fprintf(&sb, "end-to-end: FindAll %.3fs -> %.3fs (%.1fx), %d plans, %d payloads (identical at parallelism %v: %v)\n",
+		b.FindAllSerialSeconds, b.FindAllParallelSeconds, b.FindAllSpeedup,
+		b.Plans, b.Payloads, b.WorkerCounts, b.ResultsIdentical)
+	fmt.Fprintf(&sb, "%-26s %10s %10s %10s %10s %10s %10s\n",
+		"search (deep frontier)", "expanded", "generated", "batches", "hits", "misses", "truncSeeds")
+	row := func(name string, c PlannerCounts) {
+		fmt.Fprintf(&sb, "%-26s %10d %10d %10d %10d %10d %10d\n",
+			name, c.Expanded, c.Generated, c.Batches, c.CacheHits, c.CacheMisses, c.TruncatedSeeds)
+	}
+	row("  serial (1w, cache off)", b.Serial)
+	row(fmt.Sprintf("  parallel (%dw, cache on)", b.BenchWorkers), b.Parallel)
+	fmt.Fprintf(&sb, "%-26s plans identical at parallelism %v: %v; cache hit rate %.1f%%\n",
+		"", b.WorkerCounts, b.SearchPlansIdentical, 100*b.CacheHitRate)
+	fmt.Fprintf(&sb, "%-26s search %.3fs -> %.3fs (%.1fx)\n",
+		"", b.SearchSerialSeconds, b.SearchParallelSeconds, b.Speedup)
+	return sb.String()
+}

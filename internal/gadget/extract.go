@@ -458,3 +458,48 @@ func TotalCount(counts map[JmpType]int) int {
 	}
 	return n
 }
+
+// ClonePool deep-copies a pool into a fresh expression builder: every
+// gadget record is copied (IDs and immutable slices included) and its
+// effect DAG re-interned via expr.Import, walking the gadgets in pool
+// order. Index membership (ByReg, Syscalls) is carried over by identity,
+// so the clone is indistinguishable from the original to the planner.
+//
+// Consumers that mutate builder state — payload concretization interns
+// fresh nodes for cells, scratch memory, and substitutions — clone per
+// consumer so concurrent consumers never share a builder. Because the
+// clone is built in a deterministic order, the clone's node identities
+// (and everything downstream of them, solver models included) are a
+// function of the source pool alone, not of who else used it.
+func ClonePool(p *Pool) *Pool {
+	b := expr.NewBuilder()
+	out := &Pool{
+		Builder: b,
+		ByReg:   make(map[isa.Reg][]*Gadget, len(p.ByReg)),
+		Stats:   p.Stats,
+	}
+	out.Stats.ByType = make(map[JmpType]int, len(p.Stats.ByType))
+	for t, n := range p.Stats.ByType {
+		out.Stats.ByType[t] = n
+	}
+	imp := expr.NewImporter(b)
+	clones := make(map[*Gadget]*Gadget, len(p.Gadgets))
+	out.Gadgets = make([]*Gadget, len(p.Gadgets))
+	for i, g := range p.Gadgets {
+		cg := *g // Steps/ClobRegs/CtrlRegs are shared immutably
+		cg.Effect = importEffect(imp, g.Effect)
+		out.Gadgets[i] = &cg
+		clones[g] = &cg
+	}
+	for _, g := range p.Syscalls {
+		out.Syscalls = append(out.Syscalls, clones[g])
+	}
+	for r, gs := range p.ByReg {
+		idx := make([]*Gadget, len(gs))
+		for i, g := range gs {
+			idx[i] = clones[g]
+		}
+		out.ByReg[r] = idx
+	}
+	return out
+}

@@ -164,6 +164,10 @@ type Step struct {
 	G  *gadget.Gadget // nil for Start
 }
 
+// maxOrderSteps bounds the number of steps a plan's ordering machinery can
+// track: ancestor sets are single-word bitsets indexed by step ID.
+const maxOrderSteps = 64
+
 // Plan is a (possibly incomplete) attack plan: the paper's problem state.
 type Plan struct {
 	Steps []Step        // alpha
@@ -174,6 +178,13 @@ type Plan struct {
 	Demands []SlotDemand
 	// goalStep is the syscall step's ID.
 	goalStep int
+	// reach[i] is the bitset of step IDs ordered strictly before step i
+	// under the transitive closure of Order. Maintained incrementally by
+	// addOrder; rebuilt lazily for plans assembled by hand.
+	reach []uint64
+	// demandKeys dedups Demands; nil until the first addDemand after a
+	// Clone, so plans that never gain demands pay nothing for it.
+	demandKeys map[demandKey]struct{}
 }
 
 // Clone deep-copies the plan (slices are copied; steps and gadget pointers
@@ -186,8 +197,97 @@ func (p *Plan) Clone() *Plan {
 		Open:     append([]Requirement(nil), p.Open...),
 		Demands:  append([]SlotDemand(nil), p.Demands...),
 		goalStep: p.goalStep,
+		reach:    append([]uint64(nil), p.reach...),
 	}
 	return q
+}
+
+// cloneWithOpen is Clone with the Open list replaced by a copy of rest.
+// The expansion hot path always drops the requirement it is resolving, so
+// cloning the parent's Open only to overwrite it would waste an allocation
+// and a copy per successor. Each slice is given a little spare capacity for
+// the appends that immediately follow (a new step, its ordering edges, the
+// causal link, the producer's entry requirements), so extending the clone
+// does not re-allocate.
+func (p *Plan) cloneWithOpen(rest []Requirement) *Plan {
+	q := &Plan{goalStep: p.goalStep}
+	q.Steps = make([]Step, len(p.Steps), len(p.Steps)+1)
+	copy(q.Steps, p.Steps)
+	q.Order = make([][2]int, len(p.Order), len(p.Order)+4)
+	copy(q.Order, p.Order)
+	q.Links = make([]Link, len(p.Links), len(p.Links)+1)
+	copy(q.Links, p.Links)
+	q.Open = make([]Requirement, len(rest), len(rest)+4)
+	copy(q.Open, rest)
+	if len(p.Demands) > 0 {
+		q.Demands = make([]SlotDemand, len(p.Demands), len(p.Demands)+2)
+		copy(q.Demands, p.Demands)
+	}
+	q.reach = make([]uint64, len(p.reach), len(p.reach)+1)
+	copy(q.reach, p.reach)
+	return q
+}
+
+// specKey is a canonical map key for a ValueSpec, matching equalSpec: the
+// value matters only for SpecConst, the data only for SpecPointer.
+type specKey struct {
+	kind SpecKind
+	val  uint64
+	data string
+}
+
+func canonSpecKey(s ValueSpec) specKey {
+	switch s.Kind {
+	case SpecConst:
+		return specKey{kind: SpecConst, val: s.Value}
+	case SpecPointer:
+		return specKey{kind: SpecPointer, data: string(s.Data)}
+	default:
+		return specKey{kind: s.Kind}
+	}
+}
+
+// demandKey identifies a slot demand by (step, expression node, spec).
+// Expression nodes are hash-consed per builder, so pointer identity is
+// structural identity within one search.
+type demandKey struct {
+	step int
+	e    *expr.Node
+	spec specKey
+}
+
+// demandScanCutoff is the Demands length above which addDemand switches
+// from a linear duplicate scan to the keyed map. Small sets — the common
+// case by far — are cheaper to scan than to re-hash after every clone
+// (clones drop the map); large sets get the map so repeated inserts stay
+// O(1) instead of going quadratic. The cutoff depends only on the plan, so
+// dedup behavior is identical at any worker count and with the caches off.
+const demandScanCutoff = 16
+
+// addDemand appends d unless an identical demand is already recorded.
+func (p *Plan) addDemand(d SlotDemand) {
+	if p.demandKeys == nil && len(p.Demands) < demandScanCutoff {
+		for i := range p.Demands {
+			ex := &p.Demands[i]
+			if ex.Step == d.Step && ex.Expr == d.Expr && equalSpec(ex.Spec, d.Spec) {
+				return
+			}
+		}
+		p.Demands = append(p.Demands, d)
+		return
+	}
+	if p.demandKeys == nil {
+		p.demandKeys = make(map[demandKey]struct{}, len(p.Demands)+1)
+		for _, ex := range p.Demands {
+			p.demandKeys[demandKey{ex.Step, ex.Expr, canonSpecKey(ex.Spec)}] = struct{}{}
+		}
+	}
+	k := demandKey{d.Step, d.Expr, canonSpecKey(d.Spec)}
+	if _, dup := p.demandKeys[k]; dup {
+		return
+	}
+	p.demandKeys[k] = struct{}{}
+	p.Demands = append(p.Demands, d)
 }
 
 // GoalStep returns the syscall step's ID.
@@ -210,43 +310,56 @@ func (p *Plan) NumGadgets() int {
 	return n
 }
 
+// ensureReach (re)establishes the ancestor bitsets. Plans built through
+// Search maintain them incrementally; plans assembled by hand (tests,
+// external constructors) get them rebuilt from Order here. Appended steps
+// with no edges yet simply extend the slice with empty sets.
+func (p *Plan) ensureReach() {
+	if len(p.Steps) > maxOrderSteps {
+		panic("planner: plan exceeds maxOrderSteps (ordering bitsets are single-word)")
+	}
+	if p.reach == nil && len(p.Order) > 0 {
+		// Hand-built plan: recompute the closure by fixed point (Order is
+		// tiny for hand-built plans; searched plans never take this path).
+		p.reach = make([]uint64, len(p.Steps))
+		for changed := true; changed; {
+			changed = false
+			for _, o := range p.Order {
+				next := p.reach[o[1]] | p.reach[o[0]] | 1<<uint(o[0])
+				if next != p.reach[o[1]] {
+					p.reach[o[1]] = next
+					changed = true
+				}
+			}
+		}
+		return
+	}
+	for len(p.reach) < len(p.Steps) {
+		p.reach = append(p.reach, 0)
+	}
+}
+
 // orderedBefore reports whether a must precede b under the transitive
 // closure of Order.
 func (p *Plan) orderedBefore(a, b int) bool {
 	if a == b {
 		return false
 	}
-	// BFS over ordering edges.
-	adj := make(map[int][]int, len(p.Order))
-	for _, o := range p.Order {
-		adj[o[0]] = append(adj[o[0]], o[1])
-	}
-	seen := map[int]bool{a: true}
-	queue := []int{a}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, next := range adj[cur] {
-			if next == b {
-				return true
-			}
-			if !seen[next] {
-				seen[next] = true
-				queue = append(queue, next)
-			}
-		}
-	}
-	return false
+	p.ensureReach()
+	return p.reach[b]&(1<<uint(a)) != 0
 }
 
 // addOrder inserts a precedence edge, reporting false if it would create a
-// cycle.
+// cycle. The transitive closure is maintained incrementally: the new
+// ancestor set of `after` (before plus before's ancestors) is OR-ed into
+// `after` and into every step that already has `after` as an ancestor.
 func (p *Plan) addOrder(before, after int) bool {
 	if before == after {
 		return false
 	}
-	if p.orderedBefore(after, before) {
-		return false
+	p.ensureReach()
+	if p.reach[before]&(1<<uint(after)) != 0 {
+		return false // after already precedes before: cycle
 	}
 	for _, o := range p.Order {
 		if o[0] == before && o[1] == after {
@@ -254,6 +367,16 @@ func (p *Plan) addOrder(before, after int) bool {
 		}
 	}
 	p.Order = append(p.Order, [2]int{before, after})
+	if p.reach[after]&(1<<uint(before)) == 0 {
+		mask := p.reach[before] | 1<<uint(before)
+		bit := uint64(1) << uint(after)
+		p.reach[after] |= mask
+		for i := range p.reach {
+			if p.reach[i]&bit != 0 {
+				p.reach[i] |= mask
+			}
+		}
+	}
 	return true
 }
 

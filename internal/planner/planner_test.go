@@ -11,11 +11,10 @@ import (
 	"github.com/nofreelunch/gadget-planner/internal/subsume"
 )
 
-func poolFrom(t *testing.T, src string) *gadget.Pool {
-	t.Helper()
+func buildPool(src string) (*gadget.Pool, error) {
 	r, err := asm.Assemble(src, 0x401000)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	bin := sbf.New()
 	bin.AddSection(sbf.Section{
@@ -23,7 +22,16 @@ func poolFrom(t *testing.T, src string) *gadget.Pool {
 	})
 	pool := gadget.Extract(bin, gadget.Options{})
 	min, _ := subsume.Minimize(pool, subsume.Options{})
-	return min
+	return min, nil
+}
+
+func poolFrom(t *testing.T, src string) *gadget.Pool {
+	t.Helper()
+	pool, err := buildPool(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool
 }
 
 const classicGadgets = `

@@ -2,8 +2,10 @@ package planner
 
 import (
 	"container/heap"
+	"fmt"
+	"runtime"
 	"sort"
-	"strings"
+	"sync"
 	"time"
 
 	"github.com/nofreelunch/gadget-planner/internal/gadget"
@@ -11,13 +13,19 @@ import (
 	"github.com/nofreelunch/gadget-planner/internal/symex"
 )
 
+// defaultBatchSize is how many frontier plans one batch pops. It is a fixed
+// constant — deliberately NOT derived from Parallelism — because the batch
+// boundary is what shapes the search order; workers only split a batch.
+const defaultBatchSize = 16
+
 // Options tune the plan search.
 type Options struct {
 	// MaxPlans stops the search after this many validated plans. Default 8.
 	MaxPlans int
 	// MaxNodes bounds search-node expansions. Default 30000.
 	MaxNodes int
-	// MaxSteps bounds gadget instances per plan (chain length). Default 10.
+	// MaxSteps bounds gadget instances per plan (chain length). Default 10,
+	// clamped to 60 (plan orderings are tracked in single-word bitsets).
 	MaxSteps int
 	// Candidates caps producer candidates tried per open requirement.
 	// Default 8.
@@ -26,10 +34,25 @@ type Options struct {
 	Timeout time.Duration
 	// Validate, if set, is called on each complete plan; only plans it
 	// accepts are returned (Algorithm 1's UNSAT filtering, implemented by
-	// payload concretization in the core pipeline).
+	// payload concretization in the core pipeline). It always runs on the
+	// coordinator goroutine, in deterministic batch order.
 	Validate func(*Plan) bool
 	// Trace, if set, observes every expanded plan (diagnostics).
 	Trace func(*Plan)
+	// Parallelism is the number of frontier-expansion workers. 0 = all
+	// cores, 1 = single-threaded. Results are byte-identical at every
+	// setting: batches are popped, validated, and merged in deterministic
+	// order, and BatchSize — not the worker count — shapes the search.
+	Parallelism int
+	// BatchSize overrides how many plans each frontier batch pops
+	// (default defaultBatchSize). Changing it changes the search order;
+	// changing Parallelism never does.
+	BatchSize int
+	// DisableCache turns off the per-search memoization layers — the
+	// provider cache and the candidate-ranking cache — restoring the
+	// seed's per-expansion derivation costs (A/B benchmarking). Plans are
+	// identical either way; only the speed differs.
+	DisableCache bool
 }
 
 func (o Options) withDefaults() Options {
@@ -42,11 +65,20 @@ func (o Options) withDefaults() Options {
 	if o.MaxSteps == 0 {
 		o.MaxSteps = 10
 	}
+	if o.MaxSteps > maxOrderSteps-4 {
+		o.MaxSteps = maxOrderSteps - 4
+	}
 	if o.Candidates == 0 {
 		o.Candidates = 8
 	}
 	if o.Timeout == 0 {
 		o.Timeout = 30 * time.Second
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = defaultBatchSize
 	}
 	return o
 }
@@ -58,6 +90,28 @@ type Result struct {
 	Generated int
 	Rejected  int // complete plans rejected by validation
 	TimedOut  bool
+	// TruncatedSeeds counts syscall anchors dropped by the seed cap — no
+	// silent truncation.
+	TruncatedSeeds int
+	// Batches counts deterministic frontier batches processed.
+	Batches int
+	// CacheHits/CacheMisses report provider-cache effectiveness (both zero
+	// when DisableCache is set).
+	CacheHits, CacheMisses int64
+}
+
+// StatsLine renders the search counters for stats output, in the style of
+// subsume.Stats' triage line.
+func (r *Result) StatsLine() string {
+	s := fmt.Sprintf("expanded=%d generated=%d batches=%d cache=%d/%d hit/miss",
+		r.Expanded, r.Generated, r.Batches, r.CacheHits, r.CacheMisses)
+	if r.TruncatedSeeds > 0 {
+		s += fmt.Sprintf(" truncatedSeeds=%d", r.TruncatedSeeds)
+	}
+	if r.TimedOut {
+		s += " timeout"
+	}
+	return s
 }
 
 // planHeap orders plans by the paper's heuristics: fewest open
@@ -84,15 +138,44 @@ func (h *planHeap) Pop() any {
 	return x
 }
 
+// searchCtx bundles the per-search read-mostly machinery shared by the
+// coordinator and its expansion workers.
+type searchCtx struct {
+	pool  *gadget.Pool
+	opts  Options
+	cache *providerCache
+	idx   *candidateIndex
+	keys  *keyInterner
+}
+
 // Search runs backward partial-order planning over the pool toward the
 // goal, returning up to MaxPlans distinct complete plans.
+//
+// The frontier is processed in deterministic batches: pop the K best plans
+// in heap order, handle complete ones (dedup, validate, accept) serially in
+// that order, expand the incomplete ones in parallel workers, then merge
+// the successors back into the heap in pop order. Because batch boundaries,
+// validation order, and merge order depend only on BatchSize — never on
+// Parallelism — the accepted plans, counters, and diversity ranking are
+// byte-identical at any worker count.
 func Search(pool *gadget.Pool, goal Goal, opts Options) *Result {
 	opts = opts.withDefaults()
 	res := &Result{}
 	deadline := time.Now().Add(opts.Timeout)
 
+	sc := &searchCtx{
+		pool:  pool,
+		opts:  opts,
+		cache: newProviderCache(pool, opts.DisableCache),
+		idx:   newCandidateIndex(pool, opts.DisableCache),
+		keys:  newKeyInterner(pool),
+	}
+
+	var total tally
 	var q planHeap
-	for _, p := range seeds(pool, goal) {
+	seedPlans, truncated := seeds(sc, goal, &total)
+	res.TruncatedSeeds = truncated
+	for _, p := range seedPlans {
 		heap.Push(&q, p)
 	}
 
@@ -106,53 +189,146 @@ func Search(pool *gadget.Pool, goal Goal, opts Options) *Result {
 	// finding one gadget chain; it keeps searching for more diverse gadget
 	// chains").
 	uses := make(map[int]int)
-	for q.Len() > 0 && res.Expanded < opts.MaxNodes {
-		if res.Expanded%256 == 0 && time.Now().After(deadline) {
+
+	type job struct {
+		p      *Plan
+		cands  []*gadget.Gadget
+		specID uint32 // interned form of p.Open[0].Spec
+	}
+	var jobs []job
+	var succs [][]*Plan
+	var tallies []tally
+
+	done := false
+	for q.Len() > 0 && res.Expanded < opts.MaxNodes && !done {
+		if time.Now().After(deadline) {
 			res.TimedOut = true
 			break
 		}
-		p := heap.Pop(&q).(*Plan)
-		res.Expanded++
-		if opts.Trace != nil {
-			opts.Trace(p)
+		k := opts.BatchSize
+		if k > q.Len() {
+			k = q.Len()
 		}
+		if rem := opts.MaxNodes - res.Expanded; k > rem {
+			k = rem
+		}
+		res.Batches++
 
-		if p.Complete() {
-			sig := p.Signature()
-			if found[sig] {
+		// Phase 1 (serial): pop the batch in heap order. Complete plans are
+		// deduped, validated, and accepted right here, in pop order, so the
+		// uses-based diversity ranking the rest of the batch expands under
+		// is reproducible.
+		jobs = jobs[:0]
+		usesChanged := false
+		for i := 0; i < k; i++ {
+			p := heap.Pop(&q).(*Plan)
+			res.Expanded++
+			if opts.Trace != nil {
+				opts.Trace(p)
+			}
+			if p.Complete() {
+				sig := sc.keys.key(p)
+				if found[sig] {
+					continue
+				}
+				if opts.Validate != nil && !opts.Validate(p) {
+					res.Rejected++
+					continue
+				}
+				found[sig] = true
+				res.Plans = append(res.Plans, p)
+				for _, g := range p.Chain() {
+					uses[g.ID]++
+				}
+				usesChanged = true
+				if len(res.Plans) >= opts.MaxPlans {
+					done = true
+					break
+				}
 				continue
 			}
-			if opts.Validate != nil && !opts.Validate(p) {
-				res.Rejected++
-				continue
-			}
-			found[sig] = true
-			res.Plans = append(res.Plans, p)
-			for _, g := range p.Chain() {
-				uses[g.ID]++
-			}
-			if len(res.Plans) >= opts.MaxPlans {
-				break
-			}
+			jobs = append(jobs, job{p: p})
+		}
+		if done || len(jobs) == 0 {
 			continue
 		}
-
-		for _, succ := range expand(pool, p, opts, uses) {
-			key := partialKey(succ)
-			if visited[key] {
-				continue
-			}
-			visited[key] = true
-			res.Generated++
-			heap.Push(&q, succ)
+		if usesChanged {
+			sc.idx.bumpUses()
 		}
+		// Candidate lists and spec IDs are resolved serially (the index
+		// caches its diversity re-rank per register, the interner owns the
+		// spec table); workers receive ready slices and dense keys.
+		for i := range jobs {
+			jobs[i].cands = nil
+			jobs[i].specID = sc.keys.specOf(jobs[i].p.Open[0].Spec)
+			if jobs[i].p.NumGadgets() < opts.MaxSteps {
+				jobs[i].cands = sc.idx.candidatesFor(jobs[i].p.Open[0].Reg, uses)
+			}
+		}
+
+		// Phase 2 (parallel): expand into index-addressed slots.
+		succs = append(succs[:0], make([][]*Plan, len(jobs))...)
+		tallies = append(tallies[:0], make([]tally, len(jobs))...)
+		runJobs(opts.Parallelism, len(jobs), func(i int) {
+			succs[i] = expand(sc, jobs[i].p, jobs[i].cands, jobs[i].specID, &tallies[i])
+		})
+
+		// Phase 3 (serial): merge successors in batch order.
+		for i := range jobs {
+			total.lookups += tallies[i].lookups
+			for _, succ := range succs[i] {
+				key := sc.keys.key(succ)
+				if visited[key] {
+					continue
+				}
+				visited[key] = true
+				res.Generated++
+				heap.Push(&q, succ)
+			}
+		}
+	}
+	if !opts.DisableCache {
+		res.CacheMisses = sc.cache.misses.Load()
+		res.CacheHits = total.lookups - res.CacheMisses
 	}
 	return res
 }
 
+// runJobs executes fn(0..n-1) on up to `workers` goroutines. With one
+// worker (or one job) it degenerates to a plain loop.
+func runJobs(workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
 // seeds builds one initial plan per usable syscall gadget (the backward
-// search starts from the attack's final state).
-func seeds(pool *gadget.Pool, goal Goal) []*Plan {
+// search starts from the attack's final state). The second result counts
+// anchors dropped by the seed cap.
+func seeds(sc *searchCtx, goal Goal, t *tally) ([]*Plan, int) {
+	pool := sc.pool
 	// Deterministic goal-register order.
 	regs := make([]isa.Reg, 0, len(goal.Regs))
 	for r := range goal.Regs {
@@ -175,13 +351,15 @@ func seeds(pool *gadget.Pool, goal Goal) []*Plan {
 	// that set argument registers internally) are long and would be crowded
 	// out by any shortest-first cap. Unworkable seeds die cheaply when a
 	// requirement has no producers.
+	truncated := 0
 	if len(anchors) > 64 {
+		truncated = len(anchors) - 64
 		anchors = anchors[:64]
 	}
 
 	var out []*Plan
 	for _, sg := range anchors {
-		selfReqs, usable := stepEntryReqs(pool.Builder, sg)
+		selfReqs, usable := sc.cache.stepReqsFor(sg, t)
 		if !usable {
 			continue
 		}
@@ -199,7 +377,7 @@ func seeds(pool *gadget.Pool, goal Goal) []*Plan {
 				p.Open = append(p.Open, Requirement{Step: 1, Reg: r, Spec: spec})
 				continue
 			}
-			pr, provided := provides(pool.Builder, sg, r, spec)
+			pr, provided := sc.cache.providesFor(sg, r, spec, sc.keys.specOf(spec), t)
 			if !provided {
 				ok = false
 				break
@@ -209,7 +387,7 @@ func seeds(pool *gadget.Pool, goal Goal) []*Plan {
 			}
 			for _, d := range pr.demands {
 				d.Step = 1
-				p.Demands = append(p.Demands, d)
+				p.addDemand(d)
 			}
 		}
 		if !ok {
@@ -220,11 +398,14 @@ func seeds(pool *gadget.Pool, goal Goal) []*Plan {
 		}
 		out = append(out, p)
 	}
-	return out
+	return out, truncated
 }
 
-// expand generates successor plans for the first open requirement.
-func expand(pool *gadget.Pool, p *Plan, opts Options, uses map[int]int) []*Plan {
+// expand generates successor plans for the first open requirement. It is
+// called from expansion workers: everything it touches is either owned by
+// the task (p, t, the successors it builds) or safe for concurrent reads
+// (the pool, the candidate slice, the provider cache).
+func expand(sc *searchCtx, p *Plan, cands []*gadget.Gadget, specID uint32, t *tally) []*Plan {
 	req := p.Open[0]
 	rest := p.Open[1:]
 	var succs []*Plan
@@ -245,70 +426,47 @@ func expand(pool *gadget.Pool, p *Plan, opts Options, uses map[int]int) []*Plan 
 			if !equalSpec(*sp, req.Spec) {
 				continue // the step is committed to a different value
 			}
-			succs = append(succs, applyProducer(pool, p, rest, req, s.ID, provideResult{})...)
+			succs = append(succs, applyProducer(p, rest, req, s.ID, provideResult{})...)
 			continue
 		}
-		pr, ok := provides(pool.Builder, s.G, req.Reg, req.Spec)
+		pr, ok := sc.cache.providesFor(s.G, req.Reg, req.Spec, specID, t)
 		if !ok {
 			continue
 		}
-		succs = append(succs, applyProducer(pool, p, rest, req, s.ID, pr)...)
+		succs = append(succs, applyProducer(p, rest, req, s.ID, pr)...)
 	}
 
 	// Candidate 2: instantiate a new gadget step.
-	if p.NumGadgets() < opts.MaxSteps {
-		cands := rankCandidates(pool, req, uses)
-		taken := 0
-		for _, g := range cands {
-			if taken >= opts.Candidates {
-				break
-			}
-			pr, ok := provides(pool.Builder, g, req.Reg, req.Spec)
-			if !ok {
-				continue
-			}
-			selfReqs, usable := stepEntryReqs(pool.Builder, g)
-			if !usable {
-				continue
-			}
-			succ := p.Clone()
-			succ.Open = append([]Requirement(nil), rest...)
-			id := len(succ.Steps)
-			succ.Steps = append(succ.Steps, Step{ID: id, G: g})
-			succ.addOrder(0, id)
-			// The syscall fires last; every other gadget precedes it.
-			if id != succ.goalStep {
-				succ.addOrder(id, succ.goalStep)
-			}
-			for _, rq := range selfReqs {
-				succ.Open = append(succ.Open, Requirement{Step: id, Reg: rq.reg, Spec: rq.spec})
-			}
-			if more := finishLink(pool, succ, req, id, pr); len(more) > 0 {
-				succs = append(succs, more...)
-				taken++
-			}
+	taken := 0
+	for _, g := range cands {
+		if taken >= sc.opts.Candidates {
+			break
+		}
+		pr, ok := sc.cache.providesFor(g, req.Reg, req.Spec, specID, t)
+		if !ok {
+			continue
+		}
+		selfReqs, usable := sc.cache.stepReqsFor(g, t)
+		if !usable {
+			continue
+		}
+		succ := p.cloneWithOpen(rest)
+		id := len(succ.Steps)
+		succ.Steps = append(succ.Steps, Step{ID: id, G: g})
+		succ.addOrder(0, id)
+		// The syscall fires last; every other gadget precedes it.
+		if id != succ.goalStep {
+			succ.addOrder(id, succ.goalStep)
+		}
+		for _, rq := range selfReqs {
+			succ.Open = append(succ.Open, Requirement{Step: id, Reg: rq.reg, Spec: rq.spec})
+		}
+		if more := finishLink(succ, req, id, pr); len(more) > 0 {
+			succs = append(succs, more...)
+			taken++
 		}
 	}
 	return succs
-}
-
-// partialKey identifies a search state by its gadget-shape multiset and its
-// open requirements, for duplicate pruning.
-func partialKey(p *Plan) string {
-	var sb strings.Builder
-	sb.WriteString(p.Signature())
-	sb.WriteByte('|')
-	reqs := make([]string, 0, len(p.Open))
-	for _, r := range p.Open {
-		shape := "start"
-		if g := p.step(r.Step).G; g != nil {
-			shape = gadgetShape(g)
-		}
-		reqs = append(reqs, shape+":"+r.Reg.String()+":"+r.Spec.String())
-	}
-	sort.Strings(reqs)
-	sb.WriteString(strings.Join(reqs, ","))
-	return sb.String()
 }
 
 // linkedSpec returns the spec a step is already committed to supply for reg.
@@ -322,60 +480,65 @@ func linkedSpec(p *Plan, step int, reg isa.Reg) *ValueSpec {
 }
 
 // applyProducer links an existing step as the producer for req.
-func applyProducer(pool *gadget.Pool, p *Plan, rest []Requirement, req Requirement, producer int, pr provideResult) []*Plan {
-	succ := p.Clone()
-	succ.Open = append([]Requirement(nil), rest...)
-	return finishLink(pool, succ, req, producer, pr)
+func applyProducer(p *Plan, rest []Requirement, req Requirement, producer int, pr provideResult) []*Plan {
+	return finishLink(p.cloneWithOpen(rest), req, producer, pr)
 }
 
 // finishLink installs the causal link and the producer's own new
 // requirements and demands, then resolves threats. Because each threat can
 // be resolved by demotion or promotion, the result is a (possibly empty)
 // set of consistent successor plans.
-func finishLink(pool *gadget.Pool, succ *Plan, req Requirement, producer int, pr provideResult) []*Plan {
+func finishLink(succ *Plan, req Requirement, producer int, pr provideResult) []*Plan {
 	for _, rq := range pr.entryReqs {
 		succ.Open = append(succ.Open, Requirement{Step: producer, Reg: rq.reg, Spec: rq.spec})
 	}
 	for _, d := range pr.demands {
 		d.Step = producer
-		// Skip if an identical demand is already recorded (spec reuse).
-		dup := false
-		for _, ex := range succ.Demands {
-			if ex.Step == d.Step && ex.Expr == d.Expr && equalSpec(ex.Spec, d.Spec) {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			succ.Demands = append(succ.Demands, d)
-		}
+		succ.addDemand(d)
 	}
 	if !succ.addOrder(producer, req.Step) {
 		return nil
 	}
 	link := Link{Producer: producer, Consumer: req.Step, Reg: req.Reg, Spec: req.Spec}
 	succ.Links = append(succ.Links, link)
-	return resolveThreats(succ, 2)
+	return resolveThreats(succ, producer, len(succ.Links)-1, 2)
 }
 
 // firstUnresolvedThreat finds a step that clobbers some link's register and
 // could be ordered between that link's producer and consumer.
-func firstUnresolvedThreat(p *Plan) (threat int, link Link, found bool) {
+//
+// Every frontier plan is threat-free (seeds carry no links, and expanded
+// plans come out of resolveThreats clean), and adding ordering constraints
+// can only resolve threats, never create them — so after finishLink the
+// only pairs that can be threatened involve the link's producer step or the
+// newly installed link at index newLink. The scan visits exactly those
+// pairs, in the same step-major, link-minor order a full scan would use, so
+// it returns the same threat a full scan would find first.
+func firstUnresolvedThreat(p *Plan, producer, newLink int) (threat int, link Link, found bool) {
+	threatened := func(t *Step, l Link) bool {
+		if t.ID == l.Producer || t.ID == l.Consumer {
+			return false
+		}
+		if !clobbers(t.G, l.Reg) {
+			return false
+		}
+		if p.orderedBefore(t.ID, l.Producer) || p.orderedBefore(l.Consumer, t.ID) {
+			return false // already safe
+		}
+		return true
+	}
 	for i := range p.Steps {
 		t := &p.Steps[i]
 		if t.G == nil {
 			continue
 		}
-		for _, l := range p.Links {
-			if t.ID == l.Producer || t.ID == l.Consumer {
-				continue
+		if t.ID == producer {
+			for _, l := range p.Links {
+				if threatened(t, l) {
+					return t.ID, l, true
+				}
 			}
-			if !clobbers(t.G, l.Reg) {
-				continue
-			}
-			if p.orderedBefore(t.ID, l.Producer) || p.orderedBefore(l.Consumer, t.ID) {
-				continue // already safe
-			}
+		} else if l := p.Links[newLink]; threatened(t, l) {
 			return t.ID, l, true
 		}
 	}
@@ -384,55 +547,25 @@ func firstUnresolvedThreat(p *Plan) (threat int, link Link, found bool) {
 
 // resolveThreats enumerates consistent orderings protecting every causal
 // link, branching on demotion (threat before producer) versus promotion
-// (threat after consumer), up to limit plans.
-func resolveThreats(p *Plan, limit int) []*Plan {
-	t, l, found := firstUnresolvedThreat(p)
+// (threat after consumer), up to limit plans. producer and newLink scope
+// the threat scan to the pairs the enclosing finishLink could have
+// endangered (see firstUnresolvedThreat).
+func resolveThreats(p *Plan, producer, newLink, limit int) []*Plan {
+	t, l, found := firstUnresolvedThreat(p, producer, newLink)
 	if !found {
 		return []*Plan{p}
 	}
 	var out []*Plan
 	if q := p.Clone(); q.addOrder(t, l.Producer) {
-		out = append(out, resolveThreats(q, limit)...)
+		out = append(out, resolveThreats(q, producer, newLink, limit)...)
 	}
 	if len(out) < limit {
 		if q := p.Clone(); q.addOrder(l.Consumer, t) {
-			out = append(out, resolveThreats(q, limit-len(out))...)
+			out = append(out, resolveThreats(q, producer, newLink, limit-len(out))...)
 		}
 	}
 	if len(out) > limit {
 		out = out[:limit]
 	}
 	return out
-}
-
-// rankCandidates orders the register-indexed gadgets by planning cost:
-// fewer pre-conditions, fewer clobbered registers (fewer threats), shorter.
-func rankCandidates(pool *gadget.Pool, req Requirement, uses map[int]int) []*gadget.Gadget {
-	// Syscall-terminated gadgets cannot continue a chain; they only anchor
-	// plans as the goal step.
-	cands := make([]*gadget.Gadget, 0, len(pool.ByReg[req.Reg]))
-	for _, g := range pool.ByReg[req.Reg] {
-		// Negative-delta gadgets sink the chain cursor below the payload,
-		// making every later gadget read victim stack.
-		if g.Effect.End != symex.EndSyscall && g.Effect.StackDelta >= 0 {
-			cands = append(cands, g)
-		}
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		a, b := cands[i], cands[j]
-		if uses[a.ID] != uses[b.ID] {
-			return uses[a.ID] < uses[b.ID] // diversity first
-		}
-		if len(a.Effect.Conds) != len(b.Effect.Conds) {
-			return len(a.Effect.Conds) < len(b.Effect.Conds)
-		}
-		if len(a.ClobRegs) != len(b.ClobRegs) {
-			return len(a.ClobRegs) < len(b.ClobRegs)
-		}
-		if a.NumInsts() != b.NumInsts() {
-			return a.NumInsts() < b.NumInsts()
-		}
-		return a.Location < b.Location
-	})
-	return cands
 }

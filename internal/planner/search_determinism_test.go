@@ -1,0 +1,75 @@
+package planner_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/nofreelunch/gadget-planner/internal/benchprog"
+	"github.com/nofreelunch/gadget-planner/internal/core"
+	"github.com/nofreelunch/gadget-planner/internal/obfuscate"
+	"github.com/nofreelunch/gadget-planner/internal/planner"
+)
+
+// fingerprint renders a FindAll result byte-for-byte: per goal, the plan
+// signatures in order and the payload bytes.
+func fingerprint(attacks map[string]*core.Attack) string {
+	var sb strings.Builder
+	for _, goal := range planner.Goals() {
+		atk := attacks[goal.Name]
+		fmt.Fprintf(&sb, "%s plans=%d payloads=%d\n", goal.Name, len(atk.Plans), len(atk.Payloads))
+		for _, p := range atk.Plans {
+			fmt.Fprintf(&sb, "  plan %s\n", p.Signature())
+		}
+		for _, pl := range atk.Payloads {
+			fmt.Fprintf(&sb, "  payload %x\n", pl.Bytes)
+		}
+	}
+	return sb.String()
+}
+
+// TestSearchDeterminism is the end-to-end acceptance check for the planner
+// overhaul: planning all three goals on the obfuscated netperf-sim build
+// must produce identical plan signatures and payload bytes at every worker
+// count, with the memoization layers on or off — the parallel cached search
+// is a pure speedup over the serial seed path, never a behavior change.
+func TestFindAllDeterminism(t *testing.T) {
+	bin, err := benchprog.Build(benchprog.Netperf(), obfuscate.LLVMObf(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial := planner.Options{}
+	serial.DisableCache = true
+	aRef := core.Analyze(bin, core.Config{Parallelism: 1, Planner: serial})
+	refAttacks := aRef.FindAll()
+	refFP := fingerprint(refAttacks)
+	refPlans := 0
+	for _, goal := range planner.Goals() {
+		refPlans += len(refAttacks[goal.Name].Plans)
+		if s := refAttacks[goal.Name].Search; s.CacheHits != 0 || s.CacheMisses != 0 {
+			t.Fatalf("goal %s: cache-disabled run reported cache traffic: %s", goal.Name, s.StatsLine())
+		}
+	}
+	// Not every goal is reachable on every pool (mmap needs an r10
+	// producer); the determinism contract only bites if something is found.
+	if refPlans == 0 {
+		t.Fatal("reference run found no plans for any goal")
+	}
+
+	for _, par := range []int{1, 2, 8} {
+		a := core.Analyze(bin, core.Config{Parallelism: par})
+		attacks := a.FindAll()
+		if got := fingerprint(attacks); got != refFP {
+			t.Errorf("parallelism=%d: cached run differs from serial cache-off reference\n--- ref ---\n%s--- got ---\n%s",
+				par, refFP, got)
+		}
+		var hits int64
+		for _, goal := range planner.Goals() {
+			hits += attacks[goal.Name].Search.CacheHits
+		}
+		if hits == 0 {
+			t.Errorf("parallelism=%d: cached runs reported no cache hits", par)
+		}
+	}
+}
