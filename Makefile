@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-solver bench-planner check
+.PHONY: build test vet race bench bench-solver bench-planner bench-cache check
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,13 @@ bench-solver:
 bench-planner:
 	$(GO) run ./cmd/experiments -run plannerbench
 
+# Artifact-store benchmark: the deterministic experiment suite cold vs warm
+# against one content-addressed store; writes BENCH_CACHE.json (suite
+# wall-times, per-stage hit rates) and cross-checks that every rendered
+# table is byte-identical between the two passes.
+bench-cache:
+	$(GO) run ./cmd/experiments -run cachebench -quick
+
 # CI gate: static checks, the full test suite under the race detector, and
-# the planner benchmark's built-in determinism cross-check.
-check: vet race bench-planner
+# the benchmarks' built-in determinism/identity cross-checks.
+check: vet race bench-planner bench-cache

@@ -8,7 +8,13 @@
 // Experiments: fig1, table1, table4 (includes table5), fig5, table6,
 // table7, netperf, composition, ablation, pipeline (writes
 // BENCH_PIPELINE.json), solverbench (writes BENCH_SOLVER.json),
-// plannerbench (writes BENCH_PLANNER.json).
+// plannerbench (writes BENCH_PLANNER.json), cachebench (writes
+// BENCH_CACHE.json).
+//
+// All experiments of one invocation share a content-addressed artifact
+// store, so a build, gadget scan, extraction, or minimized pool computed by
+// one experiment is reused by every later one; -nocache disables the store
+// for A/B comparison (results are identical).
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 
 	"github.com/nofreelunch/gadget-planner/internal/benchprog"
 	"github.com/nofreelunch/gadget-planner/internal/experiments"
+	"github.com/nofreelunch/gadget-planner/internal/pipeline"
 	"github.com/nofreelunch/gadget-planner/internal/planner"
 )
 
@@ -39,9 +46,15 @@ func run() error {
 	benchJSON := flag.String("benchjson", "BENCH_PIPELINE.json", "output path for the pipeline benchmark")
 	solverJSON := flag.String("solverjson", "BENCH_SOLVER.json", "output path for the solver triage benchmark")
 	plannerJSON := flag.String("plannerjson", "BENCH_PLANNER.json", "output path for the planner benchmark")
+	cacheJSON := flag.String("cachejson", "BENCH_CACHE.json", "output path for the artifact-store benchmark")
+	noCache := flag.Bool("nocache", false, "disable the artifact store (A/B benchmarking; results are identical)")
 	flag.Parse()
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick, Parallelism: *parallel}
+	store := pipeline.NewStore()
+	if *noCache {
+		store = pipeline.NewDisabledStore()
+	}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Parallelism: *parallel, Store: store}
 	if *quick {
 		opts.Programs = benchprog.Benchmarks()[:3]
 		opts.Planner = planner.Options{MaxPlans: 12, MaxNodes: 6000, Timeout: 15 * time.Second}
@@ -182,6 +195,23 @@ func run() error {
 		section("Ablation — gadget classes")
 		fmt.Print(experiments.RenderAblationClasses(cls))
 	}
+	if want("cachebench") {
+		res, err := experiments.BenchCache(opts)
+		if err != nil {
+			return err
+		}
+		section("Cache benchmark — artifact store, cold vs warm")
+		fmt.Print(experiments.RenderCacheBench(res))
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*cacheJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *cacheJSON)
+	}
+	fmt.Printf("\n%s\n", store.StatsLine())
 	return nil
 }
 

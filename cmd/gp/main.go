@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/nofreelunch/gadget-planner/internal/core"
+	"github.com/nofreelunch/gadget-planner/internal/pipeline"
 	"github.com/nofreelunch/gadget-planner/internal/planner"
 	"github.com/nofreelunch/gadget-planner/internal/sbf"
 )
@@ -35,6 +36,7 @@ func run() error {
 	parallel := flag.Int("parallel", 0, "analysis workers (0 = all cores, 1 = serial; results are identical)")
 	noTriage := flag.Bool("notriage", false, "disable solver query triage (A/B benchmarking; results are identical)")
 	noPlanCache := flag.Bool("noplancache", false, "disable the planner's provider cache (A/B benchmarking; results are identical)")
+	noCache := flag.Bool("nocache", false, "disable the artifact store (A/B benchmarking; results are identical)")
 	flag.Parse()
 
 	if *binPath == "" {
@@ -49,9 +51,14 @@ func run() error {
 		return err
 	}
 
+	store := pipeline.NewStore()
+	if *noCache {
+		store = pipeline.NewDisabledStore()
+	}
 	cfg := core.Config{
 		Planner:     planner.Options{MaxPlans: *maxPlans, Timeout: *timeout, DisableCache: *noPlanCache},
 		Parallelism: *parallel,
+		Store:       store,
 	}
 	cfg.Subsume.DisableTriage = *noTriage
 	analysis := core.Analyze(bin, cfg)
@@ -91,8 +98,13 @@ func run() error {
 
 	fmt.Println("\nstage timings:")
 	for _, t := range analysis.Timings {
-		fmt.Printf("  %-20s %10s %8.1f MB allocated\n",
-			t.Name, t.Duration.Round(time.Millisecond), float64(t.AllocBytes)/(1<<20))
+		mark := ""
+		if t.Cached {
+			mark = "  (cached)"
+		}
+		fmt.Printf("  %-20s %10s %8.1f MB allocated%s\n",
+			t.Name, t.Duration.Round(time.Millisecond), float64(t.AllocBytes)/(1<<20), mark)
 	}
+	fmt.Println(store.StatsLine())
 	return nil
 }

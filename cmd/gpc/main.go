@@ -16,8 +16,8 @@ import (
 
 	"github.com/nofreelunch/gadget-planner/internal/benchprog"
 	"github.com/nofreelunch/gadget-planner/internal/codegen"
-	"github.com/nofreelunch/gadget-planner/internal/mir"
 	"github.com/nofreelunch/gadget-planner/internal/obfuscate"
+	"github.com/nofreelunch/gadget-planner/internal/pipeline"
 )
 
 func main() {
@@ -45,20 +45,20 @@ func run() error {
 		return nil
 	}
 
-	var source string
+	prog := benchprog.Program{Name: "cli"}
 	switch {
 	case *srcPath != "":
 		data, err := os.ReadFile(*srcPath)
 		if err != nil {
 			return err
 		}
-		source = string(data)
+		prog.Name, prog.Source = *srcPath, string(data)
 	case *progName != "":
 		p, ok := benchprog.ByName(*progName)
 		if !ok {
 			return fmt.Errorf("unknown program %q (try -list)", *progName)
 		}
-		source = p.Source
+		prog = p
 	default:
 		return fmt.Errorf("need -src or -prog")
 	}
@@ -67,17 +67,17 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	var transform func(*mir.Module) error
-	if len(passes) > 0 {
-		transform = func(m *mir.Module) error { return obfuscate.Apply(m, *seed, passes...) }
-	}
 
-	bin, err := codegen.BuildProgram(source, transform, codegen.Options{})
+	// Build through the same staged pipeline the experiments use; a CLI
+	// invocation is a one-shot store, so this is the shared entry point
+	// rather than a cache win.
+	store := pipeline.NewStore()
+	bin, err := pipeline.Build(store, prog, passes, *seed)
 	if err != nil {
 		return err
 	}
 	if *selfmod != 0 {
-		bin, err = obfuscate.SelfModifyBinary(bin, byte(*selfmod))
+		bin, err = pipeline.SelfModify(store, bin, byte(*selfmod))
 		if err != nil {
 			return err
 		}

@@ -15,6 +15,7 @@ import (
 	"github.com/nofreelunch/gadget-planner/internal/gadget"
 	"github.com/nofreelunch/gadget-planner/internal/isa"
 	"github.com/nofreelunch/gadget-planner/internal/payload"
+	"github.com/nofreelunch/gadget-planner/internal/pipeline"
 	"github.com/nofreelunch/gadget-planner/internal/planner"
 	"github.com/nofreelunch/gadget-planner/internal/sbf"
 	"github.com/nofreelunch/gadget-planner/internal/subsume"
@@ -47,6 +48,15 @@ type Config struct {
 	// Stage-level settings in Extract/Subsume/Planner, when non-zero,
 	// take precedence. Results are identical at every worker count.
 	Parallelism int
+	// Store, if set, is the content-addressed artifact store the pipeline
+	// stages consult (pipeline.NewStore()): stages whose fingerprinted
+	// inputs were already computed — by this analysis, a sibling cell, or
+	// an earlier experiment sharing the store — are served from it, and
+	// concurrent requests for one artifact compute it exactly once.
+	// Results are byte-identical with or without a store. Nil computes
+	// every stage directly. A closure-valued GadgetFilter cannot be
+	// fingerprinted, so when it is set only extraction is cached.
+	Store *pipeline.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -73,28 +83,27 @@ func (c Config) withDefaults() Config {
 
 // StageTiming records one pipeline stage's cost (Table VII rows).
 type StageTiming struct {
-	Name     string
+	Name string
+	// Duration is the cost of computing the stage's artifact. When the
+	// artifact was served from Config.Store (Cached), it is the recorded
+	// cost of the original computation, not this call's near-zero lookup
+	// time — so per-stage tables stay meaningful warm or cold, and the
+	// wall-clock savings show up in suite totals instead.
 	Duration time.Duration
-	// AllocBytes is the heap allocated during the stage (a proxy for the
-	// paper's peak-memory column).
+	// AllocBytes is the heap allocated computing the stage (a proxy for
+	// the paper's peak-memory column).
 	AllocBytes uint64
+	// Cached reports the stage was served from the artifact store.
+	Cached bool
 }
 
-func timeStage(name string, timings *[]StageTiming, f func()) {
-	*timings = append(*timings, stageTiming(name, f))
-}
-
-func stageTiming(name string, f func()) StageTiming {
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	f()
-	d := time.Since(start)
-	runtime.ReadMemStats(&after)
+// timingOf converts a store request outcome into a timing row.
+func timingOf(name string, info pipeline.Info) StageTiming {
 	return StageTiming{
 		Name:       name,
-		Duration:   d,
-		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+		Duration:   info.Compute,
+		AllocBytes: info.AllocBytes,
+		Cached:     info.Hit,
 	}
 }
 
@@ -111,19 +120,33 @@ type Analysis struct {
 	Timings []StageTiming
 
 	cfg Config
+	// poolKey is the artifact key of Pool; "" when the analysis ran
+	// without a store or through an unfingerprintable GadgetFilter, in
+	// which case plan-stage results are computed directly.
+	poolKey string
 }
 
-// Analyze runs gadget extraction and subsumption testing.
+// Analyze runs gadget extraction and subsumption testing. With Config.Store
+// set, each stage is served from the content-addressed artifact store when
+// its fingerprinted inputs — binary content plus stage options — were
+// already computed; results are byte-identical either way.
 func Analyze(bin *sbf.Binary, cfg Config) *Analysis {
 	cfg = cfg.withDefaults()
 	a := &Analysis{Binary: bin, cfg: cfg}
 
-	timeStage("extraction", &a.Timings, func() {
-		a.RawPool = gadget.Extract(bin, cfg.Extract)
-	})
+	var rawKey string
+	if cfg.Store != nil {
+		rawKey = pipeline.ExtractKey(cfg.Store.BinaryKey(bin), cfg.Extract)
+	}
+	raw, xinfo, _ := pipeline.Do(cfg.Store, pipeline.StageExtract, rawKey,
+		func() (*gadget.Pool, error) { return gadget.Extract(bin, cfg.Extract), nil })
+	a.RawPool = raw
+	a.Timings = append(a.Timings, timingOf("extraction", xinfo))
 
 	pool := a.RawPool
+	poolKey := rawKey
 	if cfg.GadgetFilter != nil {
+		poolKey = "" // closures have no canonical fingerprint
 		filtered := &gadget.Pool{
 			Builder: pool.Builder,
 			ByReg:   make(map[isa.Reg][]*gadget.Gadget),
@@ -153,12 +176,30 @@ func Analyze(bin *sbf.Binary, cfg Config) *Analysis {
 	if cfg.SkipSubsume {
 		a.Pool = pool
 		a.SubsumeStats = subsume.Stats{Before: pool.Size(), After: pool.Size()}
+		if poolKey != "" {
+			a.poolKey = pipeline.SkipSubsumeKey(poolKey)
+		}
 		return a
 	}
-	timeStage("subsumption", &a.Timings, func() {
-		a.Pool, a.SubsumeStats = subsume.Minimize(pool, cfg.Subsume)
-	})
+	var minKey string
+	if poolKey != "" {
+		minKey = pipeline.MinimizeKey(poolKey, cfg.Subsume)
+	}
+	min, minfo, _ := pipeline.Do(cfg.Store, pipeline.StageMinimize, minKey,
+		func() (minimized, error) {
+			p, s := subsume.Minimize(pool, cfg.Subsume)
+			return minimized{pool: p, stats: s}, nil
+		})
+	a.Pool, a.SubsumeStats = min.pool, min.stats
+	a.poolKey = minKey
+	a.Timings = append(a.Timings, timingOf("subsumption", minfo))
 	return a
+}
+
+// minimized bundles the subsumption stage's two outputs into one artifact.
+type minimized struct {
+	pool  *gadget.Pool
+	stats subsume.Stats
 }
 
 // Attack is the outcome of stages 3–4 for one goal.
@@ -190,36 +231,44 @@ func (a *Analysis) FindPayloads(goal planner.Goal) *Attack {
 // expression nodes into the pool builder, so goals sharing one builder
 // would race — and because the clone is built deterministically, results
 // are a function of the pool alone, identical however many goals run
-// concurrently.
+// concurrently. That same cloning is what makes the plan artifact safely
+// shareable: the store's pool artifact is never mutated.
 func (a *Analysis) findPayloads(goal planner.Goal) (*Attack, StageTiming) {
 	cfg := a.cfg
-	atk := &Attack{Goal: goal}
-	timing := stageTiming("planning:"+goal.Name, func() {
-		pool := gadget.ClonePool(a.Pool)
-		conc := payload.NewConcretizer(pool, a.Binary, cfg.PayloadBase)
+	var key string
+	if a.poolKey != "" {
+		key = pipeline.PlanKey(a.poolKey, goal.Name, cfg.Planner,
+			cfg.PayloadBase, cfg.VerifySteps, cfg.SkipVerify)
+	}
+	atk, info, _ := pipeline.Do(cfg.Store, pipeline.StagePlan, key,
+		func() (*Attack, error) {
+			atk := &Attack{Goal: goal}
+			pool := gadget.ClonePool(a.Pool)
+			conc := payload.NewConcretizer(pool, a.Binary, cfg.PayloadBase)
 
-		opts := cfg.Planner
-		opts.Validate = func(p *planner.Plan) bool {
-			pl, err := conc.Concretize(p, goal)
-			if err != nil {
-				atk.ConcretizeFailures++
-				return false
-			}
-			if !cfg.SkipVerify {
-				if err := payload.Verify(a.Binary, pl, cfg.VerifySteps); err != nil {
+			opts := cfg.Planner
+			opts.Validate = func(p *planner.Plan) bool {
+				pl, err := conc.Concretize(p, goal)
+				if err != nil {
 					atk.ConcretizeFailures++
 					return false
 				}
+				if !cfg.SkipVerify {
+					if err := payload.Verify(a.Binary, pl, cfg.VerifySteps); err != nil {
+						atk.ConcretizeFailures++
+						return false
+					}
+				}
+				atk.Payloads = append(atk.Payloads, pl)
+				return true
 			}
-			atk.Payloads = append(atk.Payloads, pl)
-			return true
-		}
 
-		res := planner.Search(pool, goal, opts)
-		atk.Search = *res
-		atk.Plans = res.Plans
-	})
-	return atk, timing
+			res := planner.Search(pool, goal, opts)
+			atk.Search = *res
+			atk.Plans = res.Plans
+			return atk, nil
+		})
+	return atk, timingOf("planning:"+goal.Name, info)
 }
 
 // FindAll runs all three standard attack goals (Table IV columns). The

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/nofreelunch/gadget-planner/internal/pipeline"
+)
+
+// CacheBench is the machine-readable artifact-store benchmark
+// (BENCH_CACHE.json): the deterministic experiment suite run twice against
+// one store — a cold pass that populates it and a warm pass served from it
+// — with suite wall-times, per-stage hit/miss/compute breakdowns, and a
+// byte-identity cross-check of every rendered table.
+type CacheBench struct {
+	Quick       bool    `json:"quick"`
+	ColdSeconds float64 `json:"cold_seconds"`
+	WarmSeconds float64 `json:"warm_seconds"`
+	Speedup     float64 `json:"speedup"`
+
+	// ColdStages is the store's per-stage view after the cold pass. Hits
+	// here are *cross-experiment* sharing within one suite run: fig1 and
+	// table1 scanning the same build, table4 and composition reusing one
+	// extraction, and so on.
+	ColdStages []pipeline.StageStats `json:"cold_stages"`
+	// WarmStages is the warm pass's own per-stage delta (warm totals minus
+	// cold totals).
+	WarmStages []pipeline.StageStats `json:"warm_stages"`
+	// CrossExperimentHits counts artifacts served from the store during
+	// the cold pass — reuse between sibling experiments, not between runs.
+	CrossExperimentHits int64 `json:"cross_experiment_hits"`
+	// WarmHitRate is the warm pass's overall hit fraction.
+	WarmHitRate float64 `json:"warm_hit_rate"`
+	// TablesIdentical reports that every rendered table of the warm pass
+	// is byte-identical to the cold pass's.
+	TablesIdentical bool `json:"tables_identical"`
+}
+
+// CacheSuite runs the deterministic table experiments — Fig. 1, Table I,
+// Table IV/V, and the pool-composition table — against opts.Store and
+// returns their concatenated renderings. These four share builds, gadget
+// scans, extractions, and minimized pools, so they exercise every cacheable
+// stage; the timing-sensitive benches are excluded because their output
+// embeds wall-clock numbers that can never be byte-compared.
+func CacheSuite(opts Options) (string, error) {
+	var sb strings.Builder
+
+	fig1, err := Fig1(opts)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString(RenderFig1(fig1))
+
+	t1, err := Table1(opts)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString(RenderTable1(t1))
+
+	t4, gp, err := Table4(opts)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString(RenderTable4(t4))
+	sb.WriteString(RenderTable5(Table5(gp)))
+
+	comp, err := PoolComposition(opts)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString(RenderPoolComposition(comp))
+	return sb.String(), nil
+}
+
+// BenchCache measures the artifact store on the deterministic suite: one
+// cold pass that fills the store, one warm pass served from it.
+// cmd/experiments writes the result as BENCH_CACHE.json.
+func BenchCache(opts Options) (*CacheBench, error) {
+	opts = opts.withDefaults()
+	opts.Store = pipeline.NewStore() // private store: cold means cold
+
+	start := time.Now()
+	cold, err := CacheSuite(opts)
+	if err != nil {
+		return nil, err
+	}
+	coldSecs := time.Since(start).Seconds()
+	coldStats := opts.Store.Stats()
+
+	start = time.Now()
+	warm, err := CacheSuite(opts)
+	if err != nil {
+		return nil, err
+	}
+	warmSecs := time.Since(start).Seconds()
+	warmStats := statsDelta(opts.Store.Stats(), coldStats)
+
+	res := &CacheBench{
+		Quick:           opts.Quick,
+		ColdSeconds:     coldSecs,
+		WarmSeconds:     warmSecs,
+		Speedup:         speedup(coldSecs, warmSecs),
+		ColdStages:      coldStats,
+		WarmStages:      warmStats,
+		TablesIdentical: cold == warm,
+	}
+	var warmHits, warmTotal int64
+	for _, s := range coldStats {
+		res.CrossExperimentHits += s.Hits
+	}
+	for _, s := range warmStats {
+		warmHits += s.Hits
+		warmTotal += s.Hits + s.Misses
+	}
+	if warmTotal > 0 {
+		res.WarmHitRate = float64(warmHits) / float64(warmTotal)
+	}
+	return res, nil
+}
+
+// statsDelta subtracts an earlier per-stage snapshot from a later one.
+func statsDelta(after, before []pipeline.StageStats) []pipeline.StageStats {
+	prev := make(map[string]pipeline.StageStats, len(before))
+	for _, s := range before {
+		prev[s.Stage] = s
+	}
+	out := make([]pipeline.StageStats, 0, len(after))
+	for _, s := range after {
+		p := prev[s.Stage]
+		s.Hits -= p.Hits
+		s.Misses -= p.Misses
+		s.ComputeSeconds -= p.ComputeSeconds
+		if s.Hits != 0 || s.Misses != 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RenderCacheBench prints the benchmark as a table.
+func RenderCacheBench(b *CacheBench) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cache bench: cold %.2fs, warm %.2fs (%.2fx), tables identical: %v\n",
+		b.ColdSeconds, b.WarmSeconds, b.Speedup, b.TablesIdentical)
+	fmt.Fprintf(&sb, "cross-experiment hits (cold pass): %d, warm hit rate: %.0f%%\n",
+		b.CrossExperimentHits, 100*b.WarmHitRate)
+	fmt.Fprintf(&sb, "%-10s %12s %12s %14s\n", "Stage", "Cold h/m", "Warm h/m", "Compute(s)")
+	warm := make(map[string]pipeline.StageStats, len(b.WarmStages))
+	for _, s := range b.WarmStages {
+		warm[s.Stage] = s
+	}
+	for _, s := range b.ColdStages {
+		w := warm[s.Stage]
+		fmt.Fprintf(&sb, "%-10s %12s %12s %14.3f\n", s.Stage,
+			fmt.Sprintf("%d/%d", s.Hits, s.Misses),
+			fmt.Sprintf("%d/%d", w.Hits, w.Misses),
+			s.ComputeSeconds)
+	}
+	return sb.String()
+}

@@ -22,6 +22,7 @@ import (
 	"github.com/nofreelunch/gadget-planner/internal/core"
 	"github.com/nofreelunch/gadget-planner/internal/gadget"
 	"github.com/nofreelunch/gadget-planner/internal/obfuscate"
+	"github.com/nofreelunch/gadget-planner/internal/pipeline"
 	"github.com/nofreelunch/gadget-planner/internal/planner"
 	"github.com/nofreelunch/gadget-planner/internal/sbf"
 )
@@ -56,9 +57,19 @@ type Options struct {
 	// pipeline's Parallelism knob. 0 = runtime.GOMAXPROCS(0), 1 = serial.
 	// Table results are identical at every setting.
 	Parallelism int
+	// Store is the content-addressed artifact store every build and
+	// analysis stage runs through. Nil gets a fresh private store, so each
+	// experiment still dedups its own cells; callers running several
+	// experiments (cmd/experiments) pass one store to share builds and
+	// pools across them. pipeline.NewDisabledStore() gives the -nocache
+	// A/B arm. Table results are byte-identical whichever store is used.
+	Store *pipeline.Store
 }
 
 func (o Options) withDefaults() Options {
+	if o.Store == nil {
+		o.Store = pipeline.NewStore()
+	}
 	if o.Programs == nil {
 		o.Programs = benchprog.Benchmarks()
 	}
@@ -132,42 +143,16 @@ func runCells(workers, n int, fn func(i int) error) error {
 	return nil
 }
 
-// Builder caches compiled binaries per (program, configuration). It is safe
-// for concurrent use; concurrent Build calls for the same key compile once.
-type Builder struct {
-	seed  int64
-	mu    sync.Mutex
-	cache map[string]*buildEntry
-}
-
-type buildEntry struct {
-	once sync.Once
-	bin  *sbf.Binary
-	err  error
-}
-
-// NewBuilder returns an empty build cache.
-func NewBuilder(seed int64) *Builder {
-	return &Builder{seed: seed, cache: make(map[string]*buildEntry)}
-}
-
-// Build compiles (or returns the cached) binary.
-func (b *Builder) Build(p benchprog.Program, cfg ObfConfig) (*sbf.Binary, error) {
-	key := p.Name + "|" + cfg.Name
-	b.mu.Lock()
-	e, ok := b.cache[key]
-	if !ok {
-		e = &buildEntry{}
-		b.cache[key] = e
+// build compiles (program, configuration) through the artifact store: the
+// binary is keyed by source content, pass names, and seed, so concurrent
+// cells — and sibling experiments sharing the store — compile each
+// configuration exactly once.
+func (o Options) build(p benchprog.Program, cfg ObfConfig) (*sbf.Binary, error) {
+	bin, err := pipeline.Build(o.Store, p, cfg.Passes(), o.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: build %s|%s: %w", p.Name, cfg.Name, err)
 	}
-	b.mu.Unlock()
-	e.once.Do(func() {
-		e.bin, e.err = benchprog.Build(p, cfg.Passes(), b.seed)
-		if e.err != nil {
-			e.err = fmt.Errorf("experiments: build %s: %w", key, e.err)
-		}
-	})
-	return e.bin, e.err
+	return bin, nil
 }
 
 // gadgetChunks slices the gadget's contiguous instruction-run bytes out of
@@ -236,8 +221,8 @@ func NewPayloads(src *sbf.Binary, attacks map[string]*core.Attack, origText []by
 }
 
 // origTextOf builds the original binary and returns its text bytes.
-func origTextOf(b *Builder, p benchprog.Program) ([]byte, error) {
-	orig, err := b.Build(p, Configs()[0])
+func origTextOf(o Options, p benchprog.Program) ([]byte, error) {
+	orig, err := o.build(p, Configs()[0])
 	if err != nil {
 		return nil, err
 	}

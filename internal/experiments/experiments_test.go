@@ -191,14 +191,14 @@ func TestAblations(t *testing.T) {
 }
 
 func TestIsNewGadgetClassifier(t *testing.T) {
-	b := NewBuilder(42)
+	opts := Options{Seed: 42}.withDefaults()
 	p := benchprog.Benchmarks()[0]
-	origText, err := origTextOf(b, p)
+	origText, err := origTextOf(opts, p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Every gadget extracted from the original binary must be "old".
-	bin, err := b.Build(p, Configs()[0])
+	bin, err := opts.build(p, Configs()[0])
 	if err != nil {
 		t.Fatal(err)
 	}

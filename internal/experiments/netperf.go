@@ -10,7 +10,6 @@ import (
 	"github.com/nofreelunch/gadget-planner/internal/core"
 	"github.com/nofreelunch/gadget-planner/internal/emu"
 	"github.com/nofreelunch/gadget-planner/internal/isa"
-	"github.com/nofreelunch/gadget-planner/internal/obfuscate"
 	"github.com/nofreelunch/gadget-planner/internal/planner"
 	"github.com/nofreelunch/gadget-planner/internal/sbf"
 )
@@ -89,7 +88,7 @@ func cyclicFind(v uint64) (int, bool) {
 func Netperf(opts Options) (*NetperfResult, error) {
 	opts = opts.withDefaults()
 	prog := benchprog.Netperf()
-	bin, err := benchprog.Build(prog, obfuscate.LLVMObf(), opts.Seed)
+	bin, err := opts.build(prog, Configs()[1]) // LLVM-Obf, shared with Table7
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +135,7 @@ func Netperf(opts Options) (*NetperfResult, error) {
 	res := &NetperfResult{Offset: offset, StackBase: retSlotAddr}
 
 	// Step 3: plan payloads concretized for the discovered address.
-	a := core.Analyze(bin, core.Config{PayloadBase: retSlotAddr, Planner: opts.Planner})
+	a := core.Analyze(bin, core.Config{PayloadBase: retSlotAddr, Planner: opts.Planner, Store: opts.Store})
 	atk := a.FindPayloads(planner.ExecveGoal())
 	res.Payloads = len(atk.Payloads)
 	if res.Payloads == 0 {

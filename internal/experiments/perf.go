@@ -10,9 +10,7 @@ import (
 	"github.com/nofreelunch/gadget-planner/internal/benchprog"
 	"github.com/nofreelunch/gadget-planner/internal/core"
 	"github.com/nofreelunch/gadget-planner/internal/gadget"
-	"github.com/nofreelunch/gadget-planner/internal/obfuscate"
 	"github.com/nofreelunch/gadget-planner/internal/planner"
-	"github.com/nofreelunch/gadget-planner/internal/subsume"
 )
 
 // Table7Row is one (tool, stage) performance entry (paper Table VII: the
@@ -22,14 +20,20 @@ type Table7Row struct {
 	Stage   string
 	Seconds float64
 	AllocMB float64
+	// Cached marks a stage served from the artifact store; Seconds is then
+	// the recorded cost of the original computation, not this run's lookup.
+	Cached bool
 }
 
 // Table7 measures per-stage time and allocation on obfuscated netperf-sim.
 // Timing-sensitive: the tools run sequentially on purpose — concurrent cells
-// would contend for cores and distort every wall-clock number.
+// would contend for cores and distort every wall-clock number. The netperf
+// build and the staged analysis run through the artifact store — timings
+// stay meaningful because stage rows report artifact compute cost (a hit
+// reports the original computation's cost and is marked Cached).
 func Table7(opts Options) ([]Table7Row, error) {
 	opts = opts.withDefaults()
-	bin, err := benchprog.Build(benchprog.Netperf(), obfuscate.LLVMObf(), opts.Seed)
+	bin, err := opts.build(benchprog.Netperf(), Configs()[1]) // LLVM-Obf
 	if err != nil {
 		return nil, err
 	}
@@ -46,7 +50,7 @@ func Table7(opts Options) ([]Table7Row, error) {
 	rows = append(rows, Table7Row{Tool: "SGC", Stage: "total", Seconds: time.Since(start).Seconds()})
 
 	// Gadget-Planner, staged.
-	a := core.Analyze(bin, core.Config{Planner: opts.Planner})
+	a := core.Analyze(bin, core.Config{Planner: opts.Planner, Store: opts.Store})
 	a.FindAll()
 	var gpTotal float64
 	for _, t := range a.Timings {
@@ -55,6 +59,7 @@ func Table7(opts Options) ([]Table7Row, error) {
 			Stage:   t.Name,
 			Seconds: t.Duration.Seconds(),
 			AllocMB: float64(t.AllocBytes) / (1 << 20),
+			Cached:  t.Cached,
 		}
 		gpTotal += row.Seconds
 		rows = append(rows, row)
@@ -71,7 +76,11 @@ func RenderTable7(rows []Table7Row) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-15s %-20s %10s %10s\n", "Tool", "Stage", "Time(s)", "Alloc(MB)")
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-15s %-20s %10.3f %10.1f\n", r.Tool, r.Stage, r.Seconds, r.AllocMB)
+		mark := ""
+		if r.Cached {
+			mark = " (cached)"
+		}
+		fmt.Fprintf(&sb, "%-15s %-20s %10.3f %10.1f%s\n", r.Tool, r.Stage, r.Seconds, r.AllocMB, mark)
 	}
 	return sb.String()
 }
@@ -89,42 +98,49 @@ type AblationSubsumptionRow struct {
 
 // AblationSubsumption compares planning with and without pool minimization.
 // Timing-sensitive (it reports plan times), so programs run sequentially.
+// Builds and analyses run through the artifact store; the reported plan
+// times are the planning stage's artifact compute cost, which a warm store
+// reproduces instead of re-measuring.
 func AblationSubsumption(opts Options) ([]AblationSubsumptionRow, error) {
 	opts = opts.withDefaults()
-	b := NewBuilder(opts.Seed)
 	var rows []AblationSubsumptionRow
 	for _, p := range opts.Programs {
-		bin, err := b.Build(p, Configs()[1]) // LLVM-Obf
+		bin, err := opts.build(p, Configs()[1]) // LLVM-Obf
 		if err != nil {
 			return nil, err
 		}
-		raw := gadget.Extract(bin, gadget.Options{})
-		min, stats := subsume.Minimize(raw, subsume.Options{})
-		_ = min
-
-		cfgWith := core.Config{Planner: opts.Planner}
-		cfgWithout := core.Config{Planner: opts.Planner, SkipSubsume: true}
+		cfgWith := core.Config{Planner: opts.Planner, Store: opts.Store}
+		cfgWithout := core.Config{Planner: opts.Planner, SkipSubsume: true, Store: opts.Store}
 
 		aWith := core.Analyze(bin, cfgWith)
-		start := time.Now()
 		aWith.FindPayloads(plannerExecve())
-		with := time.Since(start)
+		with := planTime(aWith.Timings)
 
 		aWithout := core.Analyze(bin, cfgWithout)
-		start = time.Now()
 		aWithout.FindPayloads(plannerExecve())
-		without := time.Since(start)
+		without := planTime(aWithout.Timings)
 
 		rows = append(rows, AblationSubsumptionRow{
 			Program:         p.Name,
-			PoolBefore:      stats.Before,
-			PoolAfter:       stats.After,
-			ReductionFactor: stats.ReductionFactor(),
+			PoolBefore:      aWith.SubsumeStats.Before,
+			PoolAfter:       aWith.SubsumeStats.After,
+			ReductionFactor: aWith.SubsumeStats.ReductionFactor(),
 			PlanTimeWith:    with,
 			PlanTimeWithout: without,
 		})
 	}
 	return rows, nil
+}
+
+// planTime sums the planning-stage rows of an analysis's timing table.
+func planTime(timings []core.StageTiming) time.Duration {
+	var d time.Duration
+	for _, t := range timings {
+		if strings.HasPrefix(t.Name, "planning:") {
+			d += t.Duration
+		}
+	}
+	return d
 }
 
 // RenderAblationSubsumption prints the ablation.
@@ -151,9 +167,8 @@ type AblationClassesRow struct {
 // obfuscated program.
 func AblationGadgetClasses(opts Options) ([]AblationClassesRow, error) {
 	opts = opts.withDefaults()
-	b := NewBuilder(opts.Seed)
 	p := opts.Programs[0]
-	bin, err := b.Build(p, Configs()[1])
+	bin, err := opts.build(p, Configs()[1])
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +190,7 @@ func AblationGadgetClasses(opts Options) ([]AblationClassesRow, error) {
 	}
 	var rows []AblationClassesRow
 	for _, cfg := range configs {
-		a := core.Analyze(bin, core.Config{Planner: opts.Planner, GadgetFilter: cfg.filter})
+		a := core.Analyze(bin, core.Config{Planner: opts.Planner, GadgetFilter: cfg.filter, Store: opts.Store})
 		rows = append(rows, AblationClassesRow{
 			Config:   cfg.name,
 			Payloads: core.TotalPayloads(a.FindAll()),
@@ -271,11 +286,14 @@ func PoolSignature(p *gadget.Pool) string {
 // BenchPipeline times the analysis pipeline (extraction + subsumption) on
 // obfuscated netperf-sim at Parallelism=1 and Parallelism=opts.Parallelism,
 // and cross-checks that both runs produce identical pools. cmd/experiments
-// writes the result as BENCH_PIPELINE.json.
+// writes the result as BENCH_PIPELINE.json. The netperf build goes through
+// the artifact store (shared with Table7), but the two analyses
+// deliberately bypass it — serving either arm from a cached pool would
+// reduce the A/B comparison to a pair of store lookups.
 func BenchPipeline(opts Options) (*PipelineBench, error) {
 	opts = opts.withDefaults()
 	prog := benchprog.Netperf()
-	bin, err := benchprog.Build(prog, obfuscate.LLVMObf(), opts.Seed)
+	bin, err := opts.build(prog, Configs()[1]) // LLVM-Obf
 	if err != nil {
 		return nil, err
 	}

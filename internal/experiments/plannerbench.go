@@ -7,7 +7,6 @@ import (
 
 	"github.com/nofreelunch/gadget-planner/internal/benchprog"
 	"github.com/nofreelunch/gadget-planner/internal/core"
-	"github.com/nofreelunch/gadget-planner/internal/obfuscate"
 	"github.com/nofreelunch/gadget-planner/internal/planner"
 )
 
@@ -106,10 +105,14 @@ func BenchPlanner(opts Options) (*PlannerBench, error) {
 	}
 
 	prog := benchprog.Netperf()
-	bin, err := benchprog.Build(prog, obfuscate.Tigress(), opts.Seed)
+	bin, err := opts.build(prog, Configs()[2]) // Tigress; build shared via the store
 	if err != nil {
 		return nil, err
 	}
+
+	// The analyses below deliberately bypass the store (Config.Store nil):
+	// this bench A/B-times FindAll at different worker counts, and cached
+	// plan artifacts would replace the timed arms with store lookups.
 
 	// End-to-end: serial seed path (one worker everywhere, caches off)
 	// versus parallel worker counts, plans and payload bytes cross-checked.

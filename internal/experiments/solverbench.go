@@ -7,6 +7,7 @@ import (
 
 	"github.com/nofreelunch/gadget-planner/internal/expr"
 	"github.com/nofreelunch/gadget-planner/internal/gadget"
+	"github.com/nofreelunch/gadget-planner/internal/pipeline"
 	"github.com/nofreelunch/gadget-planner/internal/solver"
 	"github.com/nofreelunch/gadget-planner/internal/subsume"
 )
@@ -84,14 +85,13 @@ func BenchSolver(opts Options) (*SolverBench, error) {
 	opts = opts.withDefaults()
 	res := &SolverBench{PoolsIdentical: true}
 
-	b := NewBuilder(opts.Seed)
 	for _, p := range opts.Programs {
 		for _, cfg := range Configs()[1:] { // LLVM-Obf, Tigress
-			bin, err := b.Build(p, cfg)
+			bin, err := opts.build(p, cfg)
 			if err != nil {
 				return nil, err
 			}
-			pool := gadget.Extract(bin, gadget.Options{})
+			pool := pipeline.Extract(opts.Store, bin, gadget.Options{})
 
 			start := time.Now()
 			ref, _ := subsume.Minimize(pool, subsume.Options{Parallelism: 1, DisableTriage: true})

@@ -13,6 +13,7 @@ import (
 	"github.com/nofreelunch/gadget-planner/internal/core"
 	"github.com/nofreelunch/gadget-planner/internal/gadget"
 	"github.com/nofreelunch/gadget-planner/internal/obfuscate"
+	"github.com/nofreelunch/gadget-planner/internal/pipeline"
 	"github.com/nofreelunch/gadget-planner/internal/planner"
 )
 
@@ -29,17 +30,16 @@ type Fig1Row struct {
 // Programs are independent cells, so they run on opts.Parallelism workers.
 func Fig1(opts Options) ([]Fig1Row, error) {
 	opts = opts.withDefaults()
-	b := NewBuilder(opts.Seed)
 	rows := make([]Fig1Row, len(opts.Programs))
 	err := runCells(opts.Parallelism, len(opts.Programs), func(i int) error {
 		p := opts.Programs[i]
 		row := Fig1Row{Program: p.Name}
 		for _, cfg := range Configs() {
-			bin, err := b.Build(p, cfg)
+			bin, err := opts.build(p, cfg)
 			if err != nil {
 				return err
 			}
-			n := gadget.TotalCount(gadget.Count(bin, 10))
+			n := gadget.TotalCount(pipeline.Count(opts.Store, bin, 10))
 			switch cfg.Name {
 			case "Original":
 				row.Original = n
@@ -91,16 +91,15 @@ type Table1Row struct {
 // order, so the averages are identical at any worker count.
 func Table1(opts Options) ([]Table1Row, error) {
 	opts = opts.withDefaults()
-	b := NewBuilder(opts.Seed)
 	partials := make([]map[gadget.JmpType][3]float64, len(opts.Programs))
 	err := runCells(opts.Parallelism, len(opts.Programs), func(i int) error {
 		part := map[gadget.JmpType][3]float64{}
 		for ci, cfg := range Configs() {
-			bin, err := b.Build(opts.Programs[i], cfg)
+			bin, err := opts.build(opts.Programs[i], cfg)
 			if err != nil {
 				return err
 			}
-			for t, n := range gadget.Count(bin, 10) {
+			for t, n := range pipeline.Count(opts.Store, bin, 10) {
 				s := part[t]
 				s[ci] += float64(n)
 				part[t] = s
@@ -178,7 +177,6 @@ type t4Cell struct {
 // which reproduces the sequential aggregation exactly.
 func Table4(opts Options) ([]Table4Row, map[string][]*core.Attack, error) {
 	opts = opts.withDefaults()
-	b := NewBuilder(opts.Seed)
 
 	configs := Configs()
 	nCells := len(opts.Programs) * len(configs)
@@ -187,11 +185,11 @@ func Table4(opts Options) ([]Table4Row, map[string][]*core.Attack, error) {
 	err := runCells(opts.Parallelism, nCells, func(i int) error {
 		p := opts.Programs[i/len(configs)]
 		cfg := configs[i%len(configs)]
-		origText, err := origTextOf(b, p)
+		origText, err := origTextOf(opts, p)
 		if err != nil {
 			return err
 		}
-		bin, err := b.Build(p, cfg)
+		bin, err := opts.build(p, cfg)
 		if err != nil {
 			return err
 		}
@@ -230,7 +228,7 @@ func Table4(opts Options) ([]Table4Row, map[string][]*core.Attack, error) {
 			cell.deltas = append(cell.deltas, row)
 		}
 		// Gadget-Planner.
-		a := core.Analyze(bin, core.Config{Planner: opts.Planner, Parallelism: pipePar})
+		a := core.Analyze(bin, core.Config{Planner: opts.Planner, Parallelism: pipePar, Store: opts.Store})
 		attacks := a.FindAll()
 		row := Table4Row{Obf: cfg.Name, Tool: "Gadget-Planner"}
 		row.PoolTotal = a.Pool.Size()
@@ -387,7 +385,6 @@ type Fig5Row struct {
 // obfuscate.SelfModifyBinary).
 func Fig5(opts Options) ([]Fig5Row, error) {
 	opts = opts.withDefaults()
-	b := NewBuilder(opts.Seed)
 	passes := obfuscate.AllPassNames()
 	if len(opts.Programs) == 0 {
 		rows := make([]Fig5Row, 0, len(passes)+1)
@@ -406,17 +403,17 @@ func Fig5(opts Options) ([]Fig5Row, error) {
 		pi, p := i/len(opts.Programs), opts.Programs[i%len(opts.Programs)]
 		if pi == len(passes) {
 			// Self-modification: static scan of the encoded image.
-			plain, err := b.Build(p, Configs()[0])
+			plain, err := opts.build(p, Configs()[0])
 			if err != nil {
 				return err
 			}
-			sm, err := obfuscate.SelfModifyBinary(plain, byte(opts.Seed)|1)
+			sm, err := pipeline.SelfModify(opts.Store, plain, byte(opts.Seed)|1)
 			if err != nil {
 				return err
 			}
 			part := Fig5Row{Pass: "selfmod"}
-			part.Gadgets = gadget.TotalCount(gadget.Count(sm, 10))
-			a := core.Analyze(sm, core.Config{Planner: opts.Planner, Parallelism: pipePar})
+			part.Gadgets = gadget.TotalCount(pipeline.Count(opts.Store, sm, 10))
+			a := core.Analyze(sm, core.Config{Planner: opts.Planner, Parallelism: pipePar, Store: opts.Store})
 			part.Payloads = core.TotalPayloads(a.FindAll())
 			parts[i] = part
 			return nil
@@ -429,17 +426,17 @@ func Fig5(opts Options) ([]Fig5Row, error) {
 			}
 			return []obfuscate.Pass{ps}
 		}}
-		origText, err := origTextOf(b, p)
+		origText, err := origTextOf(opts, p)
 		if err != nil {
 			return err
 		}
-		bin, err := b.Build(p, cfg)
+		bin, err := opts.build(p, cfg)
 		if err != nil {
 			return err
 		}
 		part := Fig5Row{Pass: passName}
-		part.Gadgets = gadget.TotalCount(gadget.Count(bin, 10))
-		a := core.Analyze(bin, core.Config{Planner: opts.Planner, Parallelism: pipePar})
+		part.Gadgets = gadget.TotalCount(pipeline.Count(opts.Store, bin, 10))
+		a := core.Analyze(bin, core.Config{Planner: opts.Planner, Parallelism: pipePar, Store: opts.Store})
 		attacks := a.FindAll()
 		part.Payloads = core.TotalPayloads(attacks)
 		part.NewPayloads = NewPayloads(bin, attacks, origText)
@@ -490,7 +487,6 @@ type Table6Row struct {
 func Table6(opts Options) ([]Table6Row, error) {
 	opts.Programs = benchprog.Spec()
 	opts = opts.withDefaults()
-	b := NewBuilder(opts.Seed)
 	configs := Configs()
 	nCells := len(opts.Programs) * len(configs)
 	rows := make([]Table6Row, nCells)
@@ -498,16 +494,16 @@ func Table6(opts Options) ([]Table6Row, error) {
 	err := runCells(opts.Parallelism, nCells, func(i int) error {
 		p := opts.Programs[i/len(configs)]
 		cfg := configs[i%len(configs)]
-		bin, err := b.Build(p, cfg)
+		bin, err := opts.build(p, cfg)
 		if err != nil {
 			return err
 		}
 		row := Table6Row{Benchmark: p.Name, Obf: cfg.Name}
-		row.Gadgets = gadget.TotalCount(gadget.Count(bin, 10))
+		row.Gadgets = gadget.TotalCount(pipeline.Count(opts.Store, bin, 10))
 		row.RG = (&ropgadget.Tool{}).Run(bin).TotalPayloads()
 		row.Angrop = (&angrop.Tool{}).Run(bin).TotalPayloads()
 		row.SGC = (&sgc.Tool{}).Run(bin).TotalPayloads()
-		a := core.Analyze(bin, core.Config{Planner: opts.Planner, Parallelism: pipePar})
+		a := core.Analyze(bin, core.Config{Planner: opts.Planner, Parallelism: pipePar, Store: opts.Store})
 		row.GP = core.TotalPayloads(a.FindAll())
 		rows[i] = row
 		return nil
@@ -548,7 +544,6 @@ type PoolCompositionRow struct {
 // counts are reduced per configuration.
 func PoolComposition(opts Options) ([]PoolCompositionRow, error) {
 	opts = opts.withDefaults()
-	b := NewBuilder(opts.Seed)
 	configs := Configs()
 	if len(opts.Programs) == 0 {
 		rows := make([]PoolCompositionRow, 0, len(configs))
@@ -563,12 +558,12 @@ func PoolComposition(opts Options) ([]PoolCompositionRow, error) {
 	err := runCells(opts.Parallelism, nCells, func(i int) error {
 		cfg := configs[i/len(opts.Programs)]
 		p := opts.Programs[i%len(opts.Programs)]
-		bin, err := b.Build(p, cfg)
+		bin, err := opts.build(p, cfg)
 		if err != nil {
 			return err
 		}
 		part := PoolCompositionRow{Obf: cfg.Name}
-		a := core.Analyze(bin, core.Config{Parallelism: pipePar})
+		a := core.Analyze(bin, core.Config{Parallelism: pipePar, Store: opts.Store})
 		part.Pool = a.Pool.Size()
 		for _, g := range a.Pool.Gadgets {
 			if g.HasCond {

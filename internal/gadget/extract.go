@@ -1,6 +1,7 @@
 package gadget
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -31,6 +32,16 @@ type Options struct {
 	// is identical at every worker count: shard boundaries and the merge
 	// order depend only on the binary and Stride, never on scheduling.
 	Parallelism int
+}
+
+// Fingerprint renders the options' semantic fields canonically (defaults
+// applied) for content-addressed artifact keys: two Options values with the
+// same fingerprint produce byte-identical pools. Parallelism is excluded —
+// extraction results are identical at every worker count.
+func (o Options) Fingerprint() string {
+	o = o.withDefaults()
+	return fmt.Sprintf("insts=%d,forks=%d,merges=%d,stride=%d",
+		o.MaxInsts, o.MaxForks, o.MaxMerges, o.Stride)
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,150 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"github.com/nofreelunch/gadget-planner/internal/benchprog"
+	"github.com/nofreelunch/gadget-planner/internal/gadget"
+	"github.com/nofreelunch/gadget-planner/internal/obfuscate"
+	"github.com/nofreelunch/gadget-planner/internal/planner"
+	"github.com/nofreelunch/gadget-planner/internal/sbf"
+	"github.com/nofreelunch/gadget-planner/internal/subsume"
+)
+
+// Artifact keys are canonical fingerprints of everything that determines a
+// stage's output, chained stage to stage: a downstream key embeds its
+// upstream key, so two cells share a minimize artifact only when their
+// whole build→extract prefix matches. Hashes cover content (program
+// source, binary bytes); options contribute their canonical Fingerprint()
+// renderings, which apply defaults — so a zero Options and an explicitly
+// defaulted one address the same artifact — and exclude worker counts,
+// which never change results.
+
+// BuildKey fingerprints the compile/obfuscate stage: the program source,
+// the ordered pass names, and the obfuscation seed. The program's display
+// name is deliberately excluded — two differently-named programs with the
+// same source build the same binary.
+func BuildKey(source string, passNames []string, seed int64) string {
+	h := sha256.New()
+	io.WriteString(h, source)
+	h.Write([]byte{0})
+	for _, n := range passNames {
+		io.WriteString(h, n)
+		h.Write([]byte{0})
+	}
+	fmt.Fprintf(h, "seed=%d", seed)
+	return "build:" + hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// BinaryKey content-addresses a binary (its serialized bytes), memoized
+// per *sbf.Binary pointer — store-shared binaries are hashed once.
+// Nil-safe: a nil store returns "" (compute-directly mode).
+func (s *Store) BinaryKey(bin *sbf.Binary) string {
+	if s == nil {
+		return ""
+	}
+	if k, ok := s.binKeys.Load(bin); ok {
+		return k.(string)
+	}
+	sum := sha256.Sum256(bin.Marshal())
+	k := "bin:" + hex.EncodeToString(sum[:16])
+	s.binKeys.Store(bin, k)
+	return k
+}
+
+// EncodeKey fingerprints the self-modification transform of a built binary.
+func EncodeKey(binKey string, xorKey byte) string {
+	return binKey + "|enc:" + fmt.Sprintf("%d", xorKey)
+}
+
+// CountKey fingerprints the classic gadget scan of a binary.
+func CountKey(binKey string, maxInsts int) string {
+	if maxInsts == 0 {
+		maxInsts = 10 // gadget.Count's default
+	}
+	return binKey + "|count:" + fmt.Sprintf("%d", maxInsts)
+}
+
+// ExtractKey fingerprints the extraction stage.
+func ExtractKey(binKey string, o gadget.Options) string {
+	return binKey + "|x:" + o.Fingerprint()
+}
+
+// MinimizeKey fingerprints the subsumption stage on an extracted pool.
+func MinimizeKey(extractKey string, o subsume.Options) string {
+	return extractKey + "|m:" + o.Fingerprint()
+}
+
+// SkipSubsumeKey marks a pool that bypassed minimization (the ablation
+// configuration) so its plan artifacts never alias the minimized pool's.
+func SkipSubsumeKey(extractKey string) string {
+	return extractKey + "|m:skip"
+}
+
+// PlanKey fingerprints the planning + payload-construction stage for one
+// goal: the pool artifact it searches, the goal (by canonical name — core's
+// goals come from planner.Goals()), the search options, and the payload
+// parameters the validator closure is built from.
+func PlanKey(poolKey, goalName string, o planner.Options, payloadBase, verifySteps uint64, skipVerify bool) string {
+	return fmt.Sprintf("%s|p:%s|%s|base=%#x,steps=%d,verify=%t",
+		poolKey, goalName, o.Fingerprint(), payloadBase, verifySteps, !skipVerify)
+}
+
+// Build compiles (source, passes, seed) through the store.
+func Build(s *Store, p benchprog.Program, passes []obfuscate.Pass, seed int64) (*sbf.Binary, error) {
+	key := ""
+	if s != nil {
+		names := make([]string, len(passes))
+		for i, ps := range passes {
+			names[i] = ps.Name()
+		}
+		key = BuildKey(p.Source, names, seed)
+	}
+	bin, _, err := Do(s, StageBuild, key, func() (*sbf.Binary, error) {
+		return benchprog.Build(p, passes, seed)
+	})
+	return bin, err
+}
+
+// SelfModify applies the post-link self-modification transform through the
+// store.
+func SelfModify(s *Store, bin *sbf.Binary, key byte) (*sbf.Binary, error) {
+	k := ""
+	if s != nil {
+		k = EncodeKey(s.BinaryKey(bin), key)
+	}
+	out, _, err := Do(s, StageEncode, k, func() (*sbf.Binary, error) {
+		return obfuscate.SelfModifyBinary(bin, key)
+	})
+	return out, err
+}
+
+// Count runs the classic gadget scan through the store. The returned map is
+// a shared artifact: read-only by contract.
+func Count(s *Store, bin *sbf.Binary, maxInsts int) map[gadget.JmpType]int {
+	k := ""
+	if s != nil {
+		k = CountKey(s.BinaryKey(bin), maxInsts)
+	}
+	m, _, _ := Do(s, StageCount, k, func() (map[gadget.JmpType]int, error) {
+		return gadget.Count(bin, maxInsts), nil
+	})
+	return m
+}
+
+// Extract runs the extraction stage through the store. The returned pool is
+// a shared immutable artifact: consumers that mutate builder state clone it
+// first (gadget.ClonePool).
+func Extract(s *Store, bin *sbf.Binary, o gadget.Options) *gadget.Pool {
+	k := ""
+	if s != nil {
+		k = ExtractKey(s.BinaryKey(bin), o)
+	}
+	pool, _, _ := Do(s, StageExtract, k, func() (*gadget.Pool, error) {
+		return gadget.Extract(bin, o), nil
+	})
+	return pool
+}

@@ -1,0 +1,230 @@
+// Package pipeline is the staged analysis pipeline's content-addressed
+// artifact store. The paper's workflow is a fixed chain — Compile →
+// Obfuscate/Encode → Extract → Minimize → Plan — and every experiment cell,
+// bench, and CLI walks some prefix of it over a (program × obfuscation ×
+// seed) matrix. Each stage's output is an immutable artifact keyed by a
+// canonical fingerprint of everything that determines it (source hash,
+// ordered pass names, seed, stage options); cells that request the same
+// prefix compute it exactly once, concurrently deduplicated, and share the
+// result.
+//
+// Sharing is sound because every stage is a deterministic, parallelism-
+// invariant function of its fingerprinted inputs (the determinism suites in
+// core, subsume, and planner pin this down), and because artifacts are
+// immutable by contract: consumers that need to mutate downstream state —
+// payload concretization interns fresh expression nodes — clone first
+// (gadget.ClonePool), exactly as the non-cached pipeline already did.
+// Worker counts are therefore excluded from fingerprints, and a cached
+// table cell is byte-identical to a recomputed one at any Parallelism.
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage names one pipeline stage for keying and accounting.
+type Stage uint8
+
+// The pipeline stages, in chain order. StageEncode is the post-link
+// self-modification transform; StageCount is the classic gadget scan
+// (Fig. 1 / Table I), a side chain off the build artifact.
+const (
+	StageBuild Stage = iota
+	StageEncode
+	StageCount
+	StageExtract
+	StageMinimize
+	StagePlan
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"build", "encode", "count", "extract", "minimize", "plan",
+}
+
+// String names the stage as it appears in stats and BENCH_CACHE.json.
+func (st Stage) String() string {
+	if int(st) < len(stageNames) {
+		return stageNames[st]
+	}
+	return fmt.Sprintf("stage(%d)", uint8(st))
+}
+
+// Store memoizes stage artifacts by key. It is safe for concurrent use;
+// concurrent requests for one key compute it once (singleflight) and share
+// the result. A nil *Store is valid everywhere and simply computes each
+// stage directly — the pre-store pipeline behavior.
+type Store struct {
+	caching  bool
+	mu       sync.Mutex
+	entries  map[string]*entry
+	binKeys  sync.Map // *sbf.Binary -> string, memoized content hashes
+	counters [numStages]stageCounter
+}
+
+type stageCounter struct {
+	hits      atomic.Int64
+	misses    atomic.Int64
+	computeNs atomic.Int64
+}
+
+type entry struct {
+	once    sync.Once
+	val     any
+	err     error
+	compute time.Duration
+	alloc   uint64
+}
+
+// NewStore returns an empty caching store.
+func NewStore() *Store {
+	return &Store{caching: true, entries: make(map[string]*entry)}
+}
+
+// NewDisabledStore returns a store that never reuses artifacts (the
+// -nocache A/B configuration). Every request recomputes, but per-stage miss
+// and compute-time counters still accumulate, so cold-path stats stay
+// comparable with the caching store's.
+func NewDisabledStore() *Store {
+	return &Store{}
+}
+
+// Caching reports whether the store reuses artifacts (false for nil and
+// disabled stores).
+func (s *Store) Caching() bool { return s != nil && s.caching }
+
+// Info describes how one stage request was served.
+type Info struct {
+	// Hit reports the artifact came from the store.
+	Hit bool
+	// Compute is the artifact's compute cost — this call's, or on a hit
+	// the recorded cost of the original computation.
+	Compute time.Duration
+	// AllocBytes is the heap allocated by the computation (the pipeline's
+	// peak-memory proxy, as in core.StageTiming).
+	AllocBytes uint64
+}
+
+// measured runs f under the same time/alloc accounting the pre-store
+// pipeline used per stage.
+func measured[T any](f func() (T, error)) (T, time.Duration, uint64, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	v, err := f()
+	d := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return v, d, after.TotalAlloc - before.TotalAlloc, err
+}
+
+// Do returns the stage artifact for key, computing it at most once per
+// store. An empty key (or a nil store) bypasses memoization and computes
+// directly — callers use that for inputs that cannot be fingerprinted,
+// e.g. a closure-valued GadgetFilter. Errors are artifacts too: a failed
+// computation is cached and returned to every requester of the key.
+func Do[T any](s *Store, st Stage, key string, compute func() (T, error)) (T, Info, error) {
+	if s == nil || !s.caching || key == "" {
+		v, d, alloc, err := measured(compute)
+		if s != nil && key != "" {
+			c := &s.counters[st]
+			c.misses.Add(1)
+			c.computeNs.Add(int64(d))
+		}
+		return v, Info{Compute: d, AllocBytes: alloc}, err
+	}
+
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if !ok {
+		e = &entry{}
+		s.entries[key] = e
+	}
+	s.mu.Unlock()
+
+	hit := true
+	e.once.Do(func() {
+		hit = false
+		var v T
+		v, e.compute, e.alloc, e.err = measured(compute)
+		e.val = v
+		c := &s.counters[st]
+		c.misses.Add(1)
+		c.computeNs.Add(int64(e.compute))
+	})
+	if hit {
+		s.counters[st].hits.Add(1)
+	}
+	info := Info{Hit: hit, Compute: e.compute, AllocBytes: e.alloc}
+	if e.err != nil {
+		var zero T
+		return zero, info, e.err
+	}
+	return e.val.(T), info, nil
+}
+
+// StageStats is one stage's store counters (a BENCH_CACHE.json row).
+type StageStats struct {
+	Stage          string  `json:"stage"`
+	Hits           int64   `json:"hits"`
+	Misses         int64   `json:"misses"`
+	ComputeSeconds float64 `json:"compute_seconds"`
+}
+
+// HitRate is the fraction of requests served from the store.
+func (s StageStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the per-stage counters in chain order. Nil-safe.
+func (s *Store) Stats() []StageStats {
+	if s == nil {
+		return nil
+	}
+	out := make([]StageStats, numStages)
+	for st := Stage(0); st < numStages; st++ {
+		c := &s.counters[st]
+		out[st] = StageStats{
+			Stage:          st.String(),
+			Hits:           c.hits.Load(),
+			Misses:         c.misses.Load(),
+			ComputeSeconds: time.Duration(c.computeNs.Load()).Seconds(),
+		}
+	}
+	return out
+}
+
+// StatsLine renders the counters as one line for CLI stats output, in the
+// style of subsume.Stats and planner.Result.StatsLine.
+func (s *Store) StatsLine() string {
+	if s == nil {
+		return "store: disabled"
+	}
+	var sb strings.Builder
+	sb.WriteString("store:")
+	if !s.caching {
+		sb.WriteString(" (nocache)")
+	}
+	traffic := false
+	for _, st := range s.Stats() {
+		if st.Hits == 0 && st.Misses == 0 {
+			continue
+		}
+		traffic = true
+		fmt.Fprintf(&sb, " %s=%d/%d", st.Stage, st.Hits, st.Misses)
+	}
+	if !traffic {
+		sb.WriteString(" no requests")
+		return sb.String()
+	}
+	sb.WriteString(" hit/miss")
+	return sb.String()
+}

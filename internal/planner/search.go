@@ -55,6 +55,20 @@ type Options struct {
 	DisableCache bool
 }
 
+// Fingerprint renders the options' semantic fields canonically (defaults
+// applied) for content-addressed artifact keys. Parallelism is excluded —
+// plans are identical at every worker count — and so are the Validate and
+// Trace closures: callers caching search results must key whatever state
+// those closures observe themselves (core's plan stage keys the payload
+// parameters its validator is built from). BatchSize shapes the search
+// order and DisableCache changes the reported counters, so both are
+// included.
+func (o Options) Fingerprint() string {
+	o = o.withDefaults()
+	return fmt.Sprintf("plans=%d,nodes=%d,steps=%d,cands=%d,timeout=%s,batch=%d,cache=%t",
+		o.MaxPlans, o.MaxNodes, o.MaxSteps, o.Candidates, o.Timeout, o.BatchSize, !o.DisableCache)
+}
+
 func (o Options) withDefaults() Options {
 	if o.MaxPlans == 0 {
 		o.MaxPlans = 8

@@ -56,6 +56,17 @@ type Options struct {
 	DisableTriage bool
 }
 
+// Fingerprint renders the options' semantic fields canonically (defaults
+// applied) for content-addressed artifact keys. Parallelism is excluded —
+// minimized pools are identical at every worker count. DisableTriage is
+// included even though the pool is triage-invariant: the Stats counters
+// travel with the cached artifact and do differ between triage modes.
+func (o Options) Fingerprint() string {
+	o = o.withDefaults()
+	return fmt.Sprintf("fp=%d,conf=%d,triage=%t",
+		o.Fingerprints, o.MaxConflicts, !o.DisableTriage)
+}
+
 func (o Options) withDefaults() Options {
 	if o.Fingerprints == 0 {
 		o.Fingerprints = 4
@@ -131,7 +142,8 @@ func Minimize(pool *gadget.Pool, opts Options) (*gadget.Pool, Stats) {
 	for _, group := range groups {
 		byFp := make(map[uint64][]*gadget.Gadget)
 		for _, g := range group {
-			byFp[fingerprint(g, opts.Fingerprints)] = append(byFp[fingerprint(g, opts.Fingerprints)], g)
+			fp := fingerprint(g, opts.Fingerprints)
+			byFp[fp] = append(byFp[fp], g)
 		}
 		for _, bucket := range byFp {
 			buckets = append(buckets, bucket)
