@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-solver bench-planner bench-cache check
+.PHONY: build test vet race bench bench-solver bench-planner bench-cache bench-disk check
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,13 @@ bench-planner:
 bench-cache:
 	$(GO) run ./cmd/experiments -run cachebench -quick
 
+# Persistent-store benchmark: the suite cold, warm in-process, and warm
+# across processes (a fresh store reading a prior store's cache directory);
+# writes BENCH_DISK.json and cross-checks table identity in every arm,
+# including the -nodisk one.
+bench-disk:
+	$(GO) run ./cmd/experiments -run diskbench -quick
+
 # CI gate: static checks, the full test suite under the race detector, and
 # the benchmarks' built-in determinism/identity cross-checks.
-check: vet race bench-planner bench-cache
+check: vet race bench-planner bench-cache bench-disk

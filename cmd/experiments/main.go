@@ -9,12 +9,15 @@
 // table7, netperf, composition, ablation, pipeline (writes
 // BENCH_PIPELINE.json), solverbench (writes BENCH_SOLVER.json),
 // plannerbench (writes BENCH_PLANNER.json), cachebench (writes
-// BENCH_CACHE.json).
+// BENCH_CACHE.json), diskbench (writes BENCH_DISK.json).
 //
 // All experiments of one invocation share a content-addressed artifact
 // store, so a build, gadget scan, extraction, or minimized pool computed by
 // one experiment is reused by every later one; -nocache disables the store
-// for A/B comparison (results are identical).
+// for A/B comparison (results are identical). With -cachedir (or
+// GP_CACHE_DIR) the store is additionally backed by a persistent disk tier,
+// so artifacts survive across invocations; -nodisk disables just the disk
+// tier for A/B comparison (results are identical).
 package main
 
 import (
@@ -47,12 +50,22 @@ func run() error {
 	solverJSON := flag.String("solverjson", "BENCH_SOLVER.json", "output path for the solver triage benchmark")
 	plannerJSON := flag.String("plannerjson", "BENCH_PLANNER.json", "output path for the planner benchmark")
 	cacheJSON := flag.String("cachejson", "BENCH_CACHE.json", "output path for the artifact-store benchmark")
+	diskJSON := flag.String("diskjson", "BENCH_DISK.json", "output path for the persistent-store benchmark")
 	noCache := flag.Bool("nocache", false, "disable the artifact store (A/B benchmarking; results are identical)")
+	cacheDir := flag.String("cachedir", os.Getenv("GP_CACHE_DIR"), "persistent artifact cache directory (default $GP_CACHE_DIR; empty disables the disk tier)")
+	noDisk := flag.Bool("nodisk", false, "disable the persistent cache tier even with -cachedir set (A/B benchmarking; results are identical)")
 	flag.Parse()
 
 	store := pipeline.NewStore()
 	if *noCache {
 		store = pipeline.NewDisabledStore()
+	}
+	if *cacheDir != "" && !*noDisk && !*noCache {
+		disk, err := pipeline.OpenDisk(*cacheDir, pipeline.DiskOptions{})
+		if err != nil {
+			return err
+		}
+		store.WithDisk(disk)
 	}
 	opts := experiments.Options{Seed: *seed, Quick: *quick, Parallelism: *parallel, Store: store}
 	if *quick {
@@ -210,6 +223,22 @@ func run() error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *cacheJSON)
+	}
+	if want("diskbench") {
+		res, err := experiments.BenchDisk(opts)
+		if err != nil {
+			return err
+		}
+		section("Disk benchmark — persistent store, cold vs warm across processes")
+		fmt.Print(experiments.RenderDiskBench(res))
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*diskJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *diskJSON)
 	}
 	fmt.Printf("\n%s\n", store.StatsLine())
 	return nil

@@ -37,6 +37,8 @@ func run() error {
 	noTriage := flag.Bool("notriage", false, "disable solver query triage (A/B benchmarking; results are identical)")
 	noPlanCache := flag.Bool("noplancache", false, "disable the planner's provider cache (A/B benchmarking; results are identical)")
 	noCache := flag.Bool("nocache", false, "disable the artifact store (A/B benchmarking; results are identical)")
+	cacheDir := flag.String("cachedir", os.Getenv("GP_CACHE_DIR"), "persistent artifact cache directory (default $GP_CACHE_DIR; empty disables the disk tier)")
+	noDisk := flag.Bool("nodisk", false, "disable the persistent cache tier even with -cachedir set (A/B benchmarking; results are identical)")
 	flag.Parse()
 
 	if *binPath == "" {
@@ -54,6 +56,13 @@ func run() error {
 	store := pipeline.NewStore()
 	if *noCache {
 		store = pipeline.NewDisabledStore()
+	}
+	if *cacheDir != "" && !*noDisk && !*noCache {
+		disk, err := pipeline.OpenDisk(*cacheDir, pipeline.DiskOptions{})
+		if err != nil {
+			return err
+		}
+		store.WithDisk(disk)
 	}
 	cfg := core.Config{
 		Planner:     planner.Options{MaxPlans: *maxPlans, Timeout: *timeout, DisableCache: *noPlanCache},

@@ -36,6 +36,8 @@ func run() error {
 	execute := flag.Bool("run", false, "run the binary in the emulator after building")
 	selfmod := flag.Int("selfmod", 0, "apply self-modification with this XOR key (1-255)")
 	list := flag.Bool("list", false, "list built-in benchmark programs")
+	cacheDir := flag.String("cachedir", os.Getenv("GP_CACHE_DIR"), "persistent artifact cache directory (default $GP_CACHE_DIR; empty disables the disk tier)")
+	noDisk := flag.Bool("nodisk", false, "disable the persistent cache tier even with -cachedir set (A/B benchmarking; results are identical)")
 	flag.Parse()
 
 	if *list {
@@ -68,10 +70,17 @@ func run() error {
 		return err
 	}
 
-	// Build through the same staged pipeline the experiments use; a CLI
-	// invocation is a one-shot store, so this is the shared entry point
-	// rather than a cache win.
+	// Build through the same staged pipeline the experiments use. A CLI
+	// invocation is a one-shot in-memory store, but with -cachedir (or
+	// GP_CACHE_DIR) the persistent tier carries builds across invocations.
 	store := pipeline.NewStore()
+	if *cacheDir != "" && !*noDisk {
+		disk, err := pipeline.OpenDisk(*cacheDir, pipeline.DiskOptions{})
+		if err != nil {
+			return err
+		}
+		store.WithDisk(disk)
+	}
 	bin, err := pipeline.Build(store, prog, passes, *seed)
 	if err != nil {
 		return err

@@ -55,7 +55,10 @@ type Config struct {
 	// concurrent requests for one artifact compute it exactly once.
 	// Results are byte-identical with or without a store. Nil computes
 	// every stage directly. A closure-valued GadgetFilter cannot be
-	// fingerprinted, so when it is set only extraction is cached.
+	// fingerprinted, so when it is set only extraction is cached. A store
+	// opened with a persistent tier (pipeline.OpenDisk + Store.WithDisk)
+	// additionally serves artifacts computed by earlier processes, still
+	// byte-identically.
 	Store *pipeline.Store
 }
 
@@ -186,35 +189,20 @@ func Analyze(bin *sbf.Binary, cfg Config) *Analysis {
 		minKey = pipeline.MinimizeKey(poolKey, cfg.Subsume)
 	}
 	min, minfo, _ := pipeline.Do(cfg.Store, pipeline.StageMinimize, minKey,
-		func() (minimized, error) {
+		func() (pipeline.Minimized, error) {
 			p, s := subsume.Minimize(pool, cfg.Subsume)
-			return minimized{pool: p, stats: s}, nil
+			return pipeline.Minimized{Pool: p, Stats: s}, nil
 		})
-	a.Pool, a.SubsumeStats = min.pool, min.stats
+	a.Pool, a.SubsumeStats = min.Pool, min.Stats
 	a.poolKey = minKey
 	a.Timings = append(a.Timings, timingOf("subsumption", minfo))
 	return a
 }
 
-// minimized bundles the subsumption stage's two outputs into one artifact.
-type minimized struct {
-	pool  *gadget.Pool
-	stats subsume.Stats
-}
-
-// Attack is the outcome of stages 3–4 for one goal.
-type Attack struct {
-	Goal planner.Goal
-	// Payloads are emulator-verified (or, with SkipVerify, solver-accepted)
-	// attack payloads, one per distinct plan.
-	Payloads []*payload.Payload
-	// Plans are the corresponding abstract plans.
-	Plans []*planner.Plan
-	// Search reports planner effort.
-	Search planner.Result
-	// ConcretizeFailures counts plans the solver or verifier rejected.
-	ConcretizeFailures int
-}
+// Attack is the outcome of stages 3–4 for one goal. The type lives in
+// internal/pipeline — it is the plan stage's store artifact, which the
+// persistent tier serializes — and core re-exports it unchanged.
+type Attack = pipeline.Attack
 
 // FindPayloads runs planning and payload construction toward one goal.
 // Every returned payload has been validated end-to-end in the emulator

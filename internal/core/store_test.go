@@ -81,6 +81,68 @@ func TestStoreTransparent(t *testing.T) {
 	}
 }
 
+// TestStoreDiskMatrix extends the cache matrix to the persistent tier:
+// disk-backed vs memory-only × cold vs warm vs warm-across-process ×
+// parallelism 1/2/8 all produce byte-identical plans and payloads, and the
+// across-process arm really is served from disk (extraction disk hits).
+func TestStoreDiskMatrix(t *testing.T) {
+	p, ok := benchprog.ByName("crc")
+	if !ok {
+		t.Fatal("crc benchmark missing")
+	}
+	bin, err := benchprog.Build(p, obfuscate.LLVMObf(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Planner: planner.Options{MaxPlans: 4, MaxNodes: 5000, Timeout: 15 * time.Second}}
+
+	ref := attackSig(Analyze(bin, cfg).FindAll())
+
+	for _, par := range []int{1, 2, 8} {
+		cfg.Parallelism = par
+		dir := t.TempDir()
+
+		disk, err := pipeline.OpenDisk(dir, pipeline.DiskOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diskStore := pipeline.NewStore().WithDisk(disk)
+		cfg.Store = diskStore
+		if got := attackSig(Analyze(bin, cfg).FindAll()); got != ref {
+			t.Errorf("P=%d cold disk-backed run differs from storeless run", par)
+		}
+		if got := attackSig(Analyze(bin, cfg).FindAll()); got != ref {
+			t.Errorf("P=%d warm in-process disk-backed run differs", par)
+		}
+
+		// Across-process: fresh store and fresh disk handle over the same
+		// directory — every artifact must come back through the codec.
+		disk2, err := pipeline.OpenDisk(dir, pipeline.DiskOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Store = pipeline.NewStore().WithDisk(disk2)
+		if got := attackSig(Analyze(bin, cfg).FindAll()); got != ref {
+			t.Errorf("P=%d warm across-process run differs from storeless run", par)
+		}
+		var extract pipeline.StageStats
+		for _, st := range cfg.Store.Stats() {
+			if st.Stage == "extract" {
+				extract = st
+			}
+		}
+		if extract.DiskHits == 0 {
+			t.Errorf("P=%d across-process run had no extraction disk hits", par)
+		}
+
+		// The -nodisk arm: memory-only store, same bytes.
+		cfg.Store = pipeline.NewStore()
+		if got := attackSig(Analyze(bin, cfg).FindAll()); got != ref {
+			t.Errorf("P=%d nodisk run differs from storeless run", par)
+		}
+	}
+}
+
 // TestStoreWithGadgetFilter: a closure-valued filter cannot be
 // fingerprinted, so only extraction is cached — and results still match
 // the storeless filtered pipeline.

@@ -102,3 +102,34 @@ func TestBenchCacheQuick(t *testing.T) {
 		t.Error("empty render")
 	}
 }
+
+// TestBenchDiskQuick runs the persistent-store benchmark on the trimmed
+// corpus and pins the BENCH_DISK.json invariants the Makefile target relies
+// on: identical tables in every arm (including -nodisk), and a
+// warm-across-process pass genuinely served from disk.
+func TestBenchDiskQuick(t *testing.T) {
+	opts := quickOpts()
+	opts.Quick = true
+	res, err := BenchDisk(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TablesIdentical {
+		t.Error("warm tables differ from cold tables")
+	}
+	if !res.NoDiskIdentical {
+		t.Error("-nodisk arm tables differ")
+	}
+	if res.ExtractDiskHitRate == 0 {
+		t.Error("across-process pass had no extraction disk hits")
+	}
+	if res.Disk.BytesRead == 0 || res.Disk.SizeBytes == 0 {
+		t.Errorf("disk counters unmoved: %+v", res.Disk)
+	}
+	if res.Disk.Corrupt != 0 {
+		t.Errorf("%d artifacts read back corrupt", res.Disk.Corrupt)
+	}
+	if RenderDiskBench(res) == "" {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/nofreelunch/gadget-planner/internal/pipeline"
+)
+
+// DiskBench is the machine-readable persistent-store benchmark
+// (BENCH_DISK.json): the deterministic experiment suite run against a
+// disk-backed store cold (populating the cache directory), warm in-process
+// (served from memory), and warm across processes — a second store with all
+// in-memory state fresh, reading the first store's on-disk artifacts, which
+// is exactly what a new CLI invocation sees. A no-disk arm pins the A/B
+// byte-identity claim behind the -nodisk flag.
+type DiskBench struct {
+	Quick bool `json:"quick"`
+
+	ColdSeconds        float64 `json:"cold_seconds"`
+	WarmSeconds        float64 `json:"warm_seconds"`
+	WarmAcrossSeconds  float64 `json:"warm_across_process_seconds"`
+	SpeedupInProcess   float64 `json:"speedup_in_process"`
+	SpeedupAcross      float64 `json:"speedup_across_process"`
+	ExtractDiskHitRate float64 `json:"extract_disk_hit_rate"`
+
+	// ColdStages is the first store's per-stage view after the cold pass
+	// (disk misses here are the writes that populate the cache).
+	ColdStages []pipeline.StageStats `json:"cold_stages"`
+	// AcrossStages is the second store's per-stage view: every miss of its
+	// empty memory tier that the disk served shows up as a disk hit.
+	AcrossStages []pipeline.StageStats `json:"across_stages"`
+	// Disk is the second store's disk-tier counter snapshot.
+	Disk pipeline.DiskStats `json:"disk"`
+
+	// TablesIdentical: warm (in-process and across-process) renderings are
+	// byte-identical to the cold pass's.
+	TablesIdentical bool `json:"tables_identical"`
+	// NoDiskIdentical: a memory-only store (the -nodisk arm) renders the
+	// same bytes as every disk-backed pass.
+	NoDiskIdentical bool `json:"nodisk_identical"`
+}
+
+// BenchDisk measures the persistent tier on the deterministic suite. The
+// headline number is the warm-across-process pass: a fresh store over the
+// same cache directory, standing in for a second process — every artifact
+// it is served went through a full encode → file → decode round trip, and
+// its tables must be byte-identical to the cold run's.
+func BenchDisk(opts Options) (*DiskBench, error) {
+	opts = opts.withDefaults()
+	dir, err := os.MkdirTemp("", "gp-diskbench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	disk, err := pipeline.OpenDisk(dir, pipeline.DiskOptions{})
+	if err != nil {
+		return nil, err
+	}
+	opts.Store = pipeline.NewStore().WithDisk(disk) // private store: cold means cold
+
+	start := time.Now()
+	cold, err := CacheSuite(opts)
+	if err != nil {
+		return nil, err
+	}
+	coldSecs := time.Since(start).Seconds()
+	coldStats := opts.Store.Stats()
+
+	start = time.Now()
+	warm, err := CacheSuite(opts)
+	if err != nil {
+		return nil, err
+	}
+	warmSecs := time.Since(start).Seconds()
+
+	// "Second process": a fresh store and a fresh disk handle over the same
+	// directory. All in-memory state is new, so every artifact comes off
+	// disk — the cross-process read path, minus the exec.
+	disk2, err := pipeline.OpenDisk(dir, pipeline.DiskOptions{})
+	if err != nil {
+		return nil, err
+	}
+	opts.Store = pipeline.NewStore().WithDisk(disk2)
+	start = time.Now()
+	across, err := CacheSuite(opts)
+	if err != nil {
+		return nil, err
+	}
+	acrossSecs := time.Since(start).Seconds()
+	acrossStats := opts.Store.Stats()
+
+	// The -nodisk A/B arm: memory-only store, recomputes everything.
+	opts.Store = pipeline.NewStore()
+	nodisk, err := CacheSuite(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &DiskBench{
+		Quick:             opts.Quick,
+		ColdSeconds:       coldSecs,
+		WarmSeconds:       warmSecs,
+		WarmAcrossSeconds: acrossSecs,
+		SpeedupInProcess:  speedup(coldSecs, warmSecs),
+		SpeedupAcross:     speedup(coldSecs, acrossSecs),
+		ColdStages:        coldStats,
+		AcrossStages:      acrossStats,
+		Disk:              disk2.Stats(),
+		TablesIdentical:   cold == warm && cold == across,
+		NoDiskIdentical:   cold == nodisk,
+	}
+	res.ExtractDiskHitRate = acrossStats[pipeline.StageExtract].DiskHitRate()
+	return res, nil
+}
+
+// RenderDiskBench prints the benchmark as a table.
+func RenderDiskBench(b *DiskBench) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "disk bench: cold %.2fs, warm %.2fs (%.2fx), across-process %.2fs (%.2fx)\n",
+		b.ColdSeconds, b.WarmSeconds, b.SpeedupInProcess, b.WarmAcrossSeconds, b.SpeedupAcross)
+	fmt.Fprintf(&sb, "tables identical: %v, nodisk arm identical: %v, extract disk hit rate: %.0f%%\n",
+		b.TablesIdentical, b.NoDiskIdentical, 100*b.ExtractDiskHitRate)
+	fmt.Fprintf(&sb, "disk: %.1f MB in %d artifacts written, %.1f MB read back, %d evicted, %d corrupt\n",
+		float64(b.Disk.SizeBytes)/1e6, countWrites(b.ColdStages),
+		float64(b.Disk.BytesRead)/1e6, b.Disk.Evictions, b.Disk.Corrupt)
+	fmt.Fprintf(&sb, "%-10s %14s %16s %14s\n", "Stage", "Cold h/m", "Across dh/dm", "Compute(s)")
+	across := make(map[string]pipeline.StageStats, len(b.AcrossStages))
+	for _, s := range b.AcrossStages {
+		across[s.Stage] = s
+	}
+	for _, s := range b.ColdStages {
+		if s.Hits == 0 && s.Misses == 0 {
+			continue
+		}
+		a := across[s.Stage]
+		fmt.Fprintf(&sb, "%-10s %14s %16s %14.3f\n", s.Stage,
+			fmt.Sprintf("%d/%d", s.Hits, s.Misses),
+			fmt.Sprintf("%d/%d", a.DiskHits, a.DiskMisses),
+			s.ComputeSeconds)
+	}
+	return sb.String()
+}
+
+// countWrites counts cold-pass computations with persistable keys — each
+// one became a disk artifact.
+func countWrites(stages []pipeline.StageStats) int64 {
+	var n int64
+	for _, s := range stages {
+		n += s.Misses
+	}
+	return n
+}

@@ -59,8 +59,16 @@ func (st Stage) String() string {
 // concurrent requests for one key compute it once (singleflight) and share
 // the result. A nil *Store is valid everywhere and simply computes each
 // stage directly — the pre-store pipeline behavior.
+//
+// A store may additionally be backed by a persistent tier (WithDisk): on a
+// memory miss the artifact is decoded from disk if an earlier process
+// persisted it, and fresh computations are serialized back. The disk tier
+// is transparent — a decoded artifact is interchangeable with a computed
+// one (see codec.go) — and purely best-effort: any disk failure degrades to
+// a recompute.
 type Store struct {
 	caching  bool
+	disk     *Disk
 	mu       sync.Mutex
 	entries  map[string]*entry
 	binKeys  sync.Map // *sbf.Binary -> string, memoized content hashes
@@ -68,9 +76,11 @@ type Store struct {
 }
 
 type stageCounter struct {
-	hits      atomic.Int64
-	misses    atomic.Int64
-	computeNs atomic.Int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+	diskHits   atomic.Int64
+	diskMisses atomic.Int64
+	computeNs  atomic.Int64
 }
 
 type entry struct {
@@ -97,6 +107,28 @@ func NewDisabledStore() *Store {
 // Caching reports whether the store reuses artifacts (false for nil and
 // disabled stores).
 func (s *Store) Caching() bool { return s != nil && s.caching }
+
+// WithDisk attaches a persistent tier and returns s for chaining. It is a
+// no-op on nil and disabled stores: -nocache means no reuse at all, so the
+// disabled A/B arm never reads or writes the disk.
+func (s *Store) WithDisk(d *Disk) *Store {
+	if s != nil && s.caching {
+		s.disk = d
+	}
+	return s
+}
+
+// Disk returns the attached persistent tier, or nil. Nil-safe.
+func (s *Store) Disk() *Disk {
+	if s == nil {
+		return nil
+	}
+	return s.disk
+}
+
+// DiskStats snapshots the attached tier's counters (zero when none).
+// Nil-safe.
+func (s *Store) DiskStats() DiskStats { return s.Disk().Stats() }
 
 // Info describes how one stage request was served.
 type Info struct {
@@ -146,20 +178,48 @@ func Do[T any](s *Store, st Stage, key string, compute func() (T, error)) (T, In
 	}
 	s.mu.Unlock()
 
-	hit := true
+	const (
+		servedMemory = iota // once already done: in-memory hit
+		servedDisk          // decoded from the persistent tier
+		servedCompute       // computed now
+	)
+	served := servedMemory
 	e.once.Do(func() {
-		hit = false
+		c := &s.counters[st]
+		if s.disk != nil {
+			if payload, meta, ok := s.disk.get(st, key); ok {
+				v, derr := decodeArtifact(st, payload)
+				if tv, tok := v.(T); derr == nil && tok {
+					// A disk hit reports the original computation's
+					// persisted cost, like an in-memory hit reports the
+					// recorded one.
+					e.val, e.compute, e.alloc = tv, meta.compute, meta.alloc
+					served = servedDisk
+					c.diskHits.Add(1)
+					return
+				}
+				s.disk.discard(st, key)
+			}
+			c.diskMisses.Add(1)
+		}
+		served = servedCompute
 		var v T
 		v, e.compute, e.alloc, e.err = measured(compute)
 		e.val = v
-		c := &s.counters[st]
 		c.misses.Add(1)
 		c.computeNs.Add(int64(e.compute))
+		// Persist for future processes. Errors are memory-only artifacts:
+		// they are never written to (or read from) disk.
+		if s.disk != nil && e.err == nil {
+			if payload, ok := encodeArtifact(st, e.val); ok {
+				s.disk.put(st, key, payload, diskMeta{compute: e.compute, alloc: e.alloc})
+			}
+		}
 	})
-	if hit {
+	if served == servedMemory {
 		s.counters[st].hits.Add(1)
 	}
-	info := Info{Hit: hit, Compute: e.compute, AllocBytes: e.alloc}
+	info := Info{Hit: served != servedCompute, Compute: e.compute, AllocBytes: e.alloc}
 	if e.err != nil {
 		var zero T
 		return zero, info, e.err
@@ -167,12 +227,25 @@ func Do[T any](s *Store, st Stage, key string, compute func() (T, error)) (T, In
 	return e.val.(T), info, nil
 }
 
-// StageStats is one stage's store counters (a BENCH_CACHE.json row).
+// StageStats is one stage's store counters (a BENCH_CACHE.json /
+// BENCH_DISK.json row). DiskHits/DiskMisses count persistent-tier lookups
+// on in-memory misses; they stay zero without an attached Disk.
 type StageStats struct {
 	Stage          string  `json:"stage"`
 	Hits           int64   `json:"hits"`
 	Misses         int64   `json:"misses"`
+	DiskHits       int64   `json:"disk_hits,omitempty"`
+	DiskMisses     int64   `json:"disk_misses,omitempty"`
 	ComputeSeconds float64 `json:"compute_seconds"`
+}
+
+// DiskHitRate is the fraction of persistent-tier lookups that hit.
+func (s StageStats) DiskHitRate() float64 {
+	total := s.DiskHits + s.DiskMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.DiskHits) / float64(total)
 }
 
 // HitRate is the fraction of requests served from the store.
@@ -196,6 +269,8 @@ func (s *Store) Stats() []StageStats {
 			Stage:          st.String(),
 			Hits:           c.hits.Load(),
 			Misses:         c.misses.Load(),
+			DiskHits:       c.diskHits.Load(),
+			DiskMisses:     c.diskMisses.Load(),
 			ComputeSeconds: time.Duration(c.computeNs.Load()).Seconds(),
 		}
 	}
@@ -214,17 +289,28 @@ func (s *Store) StatsLine() string {
 		sb.WriteString(" (nocache)")
 	}
 	traffic := false
+	var diskHits, diskMisses int64
 	for _, st := range s.Stats() {
-		if st.Hits == 0 && st.Misses == 0 {
+		diskHits += st.DiskHits
+		diskMisses += st.DiskMisses
+		if st.Hits == 0 && st.Misses == 0 && st.DiskHits == 0 {
 			continue
 		}
+		// A disk-served request is a store hit too: hits counts both tiers,
+		// misses counts computations.
 		traffic = true
-		fmt.Fprintf(&sb, " %s=%d/%d", st.Stage, st.Hits, st.Misses)
+		fmt.Fprintf(&sb, " %s=%d/%d", st.Stage, st.Hits+st.DiskHits, st.Misses)
 	}
 	if !traffic {
 		sb.WriteString(" no requests")
-		return sb.String()
+	} else {
+		sb.WriteString(" hit/miss")
 	}
-	sb.WriteString(" hit/miss")
+	if s.disk != nil {
+		ds := s.disk.Stats()
+		fmt.Fprintf(&sb, "; disk: %d/%d hit/miss, %d evicted, %.1f/%.1f MB r/w",
+			diskHits, diskMisses, ds.Evictions,
+			float64(ds.BytesRead)/1e6, float64(ds.BytesWritten)/1e6)
+	}
 	return sb.String()
 }

@@ -202,6 +202,22 @@ func (p *Plan) Clone() *Plan {
 	return q
 }
 
+// RestorePlan reassembles a plan from its serialized parts — the inverse of
+// reading a searched plan's exported fields plus GoalStep. It exists for the
+// artifact store's persistent tier (internal/pipeline), which decodes plan
+// artifacts back from disk. The reachability bitsets are rebuilt lazily on
+// first ordering query, exactly as for plans assembled by hand.
+func RestorePlan(steps []Step, order [][2]int, links []Link, open []Requirement, demands []SlotDemand, goalStep int) *Plan {
+	return &Plan{
+		Steps:    steps,
+		Order:    order,
+		Links:    links,
+		Open:     open,
+		Demands:  demands,
+		goalStep: goalStep,
+	}
+}
+
 // cloneWithOpen is Clone with the Open list replaced by a copy of rest.
 // The expansion hot path always drops the requirement it is resolving, so
 // cloning the parent's Open only to overwrite it would waste an allocation
