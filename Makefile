@@ -1,6 +1,7 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: build test vet race bench bench-solver bench-planner bench-cache bench-disk check
+.PHONY: build test vet fmt race bench bench-solver bench-planner bench-cache bench-disk bench-stream bench-stream-quick check
 
 build:
 	$(GO) build ./...
@@ -10,6 +11,11 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Formatting gate: fails listing any file gofmt would rewrite.
+fmt:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 race:
 	$(GO) test -race ./...
@@ -40,6 +46,17 @@ bench-cache:
 bench-disk:
 	$(GO) run ./cmd/experiments -run diskbench -quick
 
-# CI gate: static checks, the full test suite under the race detector, and
-# the benchmarks' built-in determinism/identity cross-checks.
-check: vet race bench-planner bench-cache bench-disk
+# Streaming corpus benchmark: a generated several-hundred-cell matrix fanned
+# through the bounded-memory runner — cold, warm across processes at
+# parallelism 1/2/8, and under a starved disk budget so the LRU evictor
+# cycles; writes BENCH_STREAM.json + per-cell BENCH_STREAM.jsonl and
+# cross-checks aggregate-table identity in every arm.
+bench-stream:
+	$(GO) run ./cmd/experiments -stream
+
+bench-stream-quick:
+	$(GO) run ./cmd/experiments -stream -quick
+
+# CI gate: formatting, static checks, the full test suite under the race
+# detector, and the benchmarks' built-in determinism/identity cross-checks.
+check: fmt vet race bench-planner bench-cache bench-disk bench-stream-quick

@@ -9,7 +9,10 @@
 // table7, netperf, composition, ablation, pipeline (writes
 // BENCH_PIPELINE.json), solverbench (writes BENCH_SOLVER.json),
 // plannerbench (writes BENCH_PLANNER.json), cachebench (writes
-// BENCH_CACHE.json), diskbench (writes BENCH_DISK.json).
+// BENCH_CACHE.json), diskbench (writes BENCH_DISK.json), stream (the
+// generated-corpus scale-out benchmark; writes BENCH_STREAM.json and a
+// per-cell BENCH_STREAM.jsonl; also reachable as the -stream shorthand,
+// with -cells sizing the corpus and -cachesize starving the eviction arm).
 //
 // All experiments of one invocation share a content-addressed artifact
 // store, so a build, gadget scan, extraction, or minimized pool computed by
@@ -54,6 +57,11 @@ func run() error {
 	noCache := flag.Bool("nocache", false, "disable the artifact store (A/B benchmarking; results are identical)")
 	cacheDir := flag.String("cachedir", os.Getenv("GP_CACHE_DIR"), "persistent artifact cache directory (default $GP_CACHE_DIR; empty disables the disk tier)")
 	noDisk := flag.Bool("nodisk", false, "disable the persistent cache tier even with -cachedir set (A/B benchmarking; results are identical)")
+	stream := flag.Bool("stream", false, "shorthand for -run stream: the generated-corpus streaming benchmark")
+	cells := flag.Int("cells", 0, "stream: target cell count (0 = 216, or 24 with -quick)")
+	cacheSize := flag.Int64("cachesize", 0, "stream: eviction-arm disk budget in bytes (0 = 256 KiB)")
+	streamJSON := flag.String("streamjson", "BENCH_STREAM.json", "output path for the streaming corpus benchmark")
+	streamJSONL := flag.String("streamjsonl", "BENCH_STREAM.jsonl", "output path for the streaming per-cell rows")
 	flag.Parse()
 
 	store := pipeline.NewStore()
@@ -73,10 +81,26 @@ func run() error {
 		opts.Planner = planner.Options{MaxPlans: 12, MaxNodes: 6000, Timeout: 15 * time.Second}
 	}
 
+	runSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "run" {
+			runSet = true
+		}
+	})
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*which, ",") {
 		selected[strings.TrimSpace(name)] = true
 	}
+	if *stream {
+		// Bare -stream runs only the stream benchmark; combined with an
+		// explicit -run it adds stream to that selection.
+		if !runSet {
+			selected = map[string]bool{}
+		}
+		selected["stream"] = true
+	}
+	// The stream benchmark is opt-in: it is not part of -run all (its
+	// corpus dwarfs the paper experiments').
 	want := func(name string) bool { return selected["all"] || selected[name] }
 
 	if want("fig1") {
@@ -240,7 +264,34 @@ func run() error {
 		}
 		fmt.Printf("wrote %s\n", *diskJSON)
 	}
-	fmt.Printf("\n%s\n", store.StatsLine())
+	if selected["stream"] {
+		rowsFile, err := os.Create(*streamJSONL)
+		if err != nil {
+			return err
+		}
+		res, err := experiments.BenchStream(experiments.StreamOptions{
+			Cells:       *cells,
+			Seed:        *seed,
+			Parallelism: *parallel,
+			Rows:        rowsFile,
+			Quick:       *quick,
+		}, *cacheSize)
+		rowsFile.Close()
+		if err != nil {
+			return err
+		}
+		section("Stream benchmark — generated corpus, bounded-memory runner")
+		fmt.Print(experiments.RenderStreamBench(res))
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*streamJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (per-cell rows in %s)\n", *streamJSON, *streamJSONL)
+	}
+	fmt.Printf("\n%s\n%s\n", store.StatsLine(), pipeline.WallLine())
 	return nil
 }
 

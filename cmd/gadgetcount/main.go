@@ -6,6 +6,9 @@
 //
 //	gadgetcount -bin prog.sbf
 //	gadgetcount -prog crc            # original vs LLVM-Obf vs Tigress
+//
+// Builds and scans run through the shared artifact store; with -cachedir
+// (or GP_CACHE_DIR) they persist across invocations, like the other CLIs.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"github.com/nofreelunch/gadget-planner/internal/benchprog"
 	"github.com/nofreelunch/gadget-planner/internal/gadget"
 	"github.com/nofreelunch/gadget-planner/internal/obfuscate"
+	"github.com/nofreelunch/gadget-planner/internal/pipeline"
 	"github.com/nofreelunch/gadget-planner/internal/sbf"
 )
 
@@ -35,7 +39,22 @@ func run() error {
 	binPath := flag.String("bin", "", "SBF binary")
 	progName := flag.String("prog", "", "built-in benchmark to compare across obfuscations")
 	seed := flag.Int64("seed", 42, "obfuscation seed")
+	noCache := flag.Bool("nocache", false, "disable the artifact store (A/B benchmarking; results are identical)")
+	cacheDir := flag.String("cachedir", os.Getenv("GP_CACHE_DIR"), "persistent artifact cache directory (default $GP_CACHE_DIR; empty disables the disk tier)")
+	noDisk := flag.Bool("nodisk", false, "disable the persistent cache tier even with -cachedir set (A/B benchmarking; results are identical)")
 	flag.Parse()
+
+	store := pipeline.NewStore()
+	if *noCache {
+		store = pipeline.NewDisabledStore()
+	}
+	if *cacheDir != "" && !*noDisk && !*noCache {
+		disk, err := pipeline.OpenDisk(*cacheDir, pipeline.DiskOptions{})
+		if err != nil {
+			return err
+		}
+		store.WithDisk(disk)
+	}
 
 	if *binPath != "" {
 		data, err := os.ReadFile(*binPath)
@@ -46,7 +65,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		report(*binPath, bin)
+		report(store, *binPath, bin)
 		return nil
 	}
 	if *progName == "" {
@@ -64,17 +83,17 @@ func run() error {
 		{"llvm-obf", obfuscate.LLVMObf()},
 		{"tigress", obfuscate.Tigress()},
 	} {
-		bin, err := benchprog.Build(p, cfg.passes, *seed)
+		bin, err := pipeline.Build(store, p, cfg.passes, *seed)
 		if err != nil {
 			return err
 		}
-		report(fmt.Sprintf("%s/%s", *progName, cfg.name), bin)
+		report(store, fmt.Sprintf("%s/%s", *progName, cfg.name), bin)
 	}
 	return nil
 }
 
-func report(label string, bin *sbf.Binary) {
-	counts := gadget.Count(bin, 10)
+func report(store *pipeline.Store, label string, bin *sbf.Binary) {
+	counts := pipeline.Count(store, bin, 10)
 	fmt.Printf("%s: text=%d bytes, %d gadgets\n", label, bin.CodeSize(), gadget.TotalCount(counts))
 	for _, t := range classes {
 		fmt.Printf("  %-8s %7d\n", t, counts[t])

@@ -115,5 +115,6 @@ func run() error {
 			t.Name, t.Duration.Round(time.Millisecond), float64(t.AllocBytes)/(1<<20), mark)
 	}
 	fmt.Println(store.StatsLine())
+	fmt.Println(pipeline.WallLine())
 	return nil
 }

@@ -20,7 +20,7 @@ func TestMatchPiece(t *testing.T) {
 		{"pop rax; ret", "pop rax", true},
 		{"syscall", "syscall", true},
 		{"mov qword [rdi], rsi; ret", "write", true},
-		{"pop rbx; ret", "", false},        // not a template register
+		{"pop rbx; ret", "", false},          // not a template register
 		{"pop rdi; pop rbx; ret", "", false}, // not exact
 		{"mov qword [rsi], rdi; ret", "", false},
 		{"pop rdi; ret 8", "", false}, // ret imm breaks the template

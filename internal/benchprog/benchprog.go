@@ -7,6 +7,7 @@ package benchprog
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/nofreelunch/gadget-planner/internal/codegen"
 	"github.com/nofreelunch/gadget-planner/internal/mir"
@@ -72,14 +73,21 @@ func Spec() []Program {
 	}
 }
 
+// byNameIndex maps the full hand-written corpus by name, built once — ByName
+// sits on per-cell hot paths (CLIs, the streaming runner) that perform
+// hundreds of lookups.
+var byNameIndex = sync.OnceValue(func() map[string]Program {
+	idx := make(map[string]Program)
+	for _, p := range All() {
+		idx[p.Name] = p
+	}
+	return idx
+})
+
 // ByName finds a program in the full corpus.
 func ByName(name string) (Program, bool) {
-	for _, p := range All() {
-		if p.Name == name {
-			return p, true
-		}
-	}
-	return Program{}, false
+	p, ok := byNameIndex()[name]
+	return p, ok
 }
 
 // All returns every program including netperf-sim.

@@ -242,7 +242,10 @@ func (a *Analysis) findPayloads(goal planner.Goal) (*Attack, StageTiming) {
 					return false
 				}
 				if !cfg.SkipVerify {
-					if err := payload.Verify(a.Binary, pl, cfg.VerifySteps); err != nil {
+					stop := pipeline.TrackWall("verify")
+					err := payload.Verify(a.Binary, pl, cfg.VerifySteps)
+					stop()
+					if err != nil {
 						atk.ConcretizeFailures++
 						return false
 					}

@@ -10,6 +10,7 @@ import (
 	"github.com/nofreelunch/gadget-planner/internal/core"
 	"github.com/nofreelunch/gadget-planner/internal/emu"
 	"github.com/nofreelunch/gadget-planner/internal/isa"
+	"github.com/nofreelunch/gadget-planner/internal/pipeline"
 	"github.com/nofreelunch/gadget-planner/internal/planner"
 	"github.com/nofreelunch/gadget-planner/internal/sbf"
 )
@@ -178,6 +179,7 @@ const (
 // crashProbe runs the victim on the cyclic pattern (with repairs applied)
 // and classifies the crash.
 func crashProbe(bin *sbf.Binary, repairs map[int]uint64) (crashKind, int, uint64, uint64) {
+	defer pipeline.TrackWall("emu-replay")()
 	pattern := cyclicPattern()
 	for off, v := range repairs {
 		binary.LittleEndian.PutUint64(pattern[off:], v)
@@ -214,6 +216,7 @@ func crashProbe(bin *sbf.Binary, repairs map[int]uint64) (crashKind, int, uint64
 // exploitFires runs the victim with the crafted stdin and reports whether
 // execve("/bin/sh") happened.
 func exploitFires(bin *sbf.Binary, stdin []byte) bool {
+	defer pipeline.TrackWall("emu-replay")()
 	m := emu.NewMachine()
 	os := emu.NewOS()
 	os.Stdin.Reset(stdin)

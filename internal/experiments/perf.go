@@ -10,6 +10,7 @@ import (
 	"github.com/nofreelunch/gadget-planner/internal/benchprog"
 	"github.com/nofreelunch/gadget-planner/internal/core"
 	"github.com/nofreelunch/gadget-planner/internal/gadget"
+	"github.com/nofreelunch/gadget-planner/internal/pipeline"
 	"github.com/nofreelunch/gadget-planner/internal/planner"
 )
 
@@ -73,6 +74,7 @@ func plannerExecve() planner.Goal { return planner.ExecveGoal() }
 
 // RenderTable7 prints Table VII.
 func RenderTable7(rows []Table7Row) string {
+	defer pipeline.TrackWall("render")()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-15s %-20s %10s %10s\n", "Tool", "Stage", "Time(s)", "Alloc(MB)")
 	for _, r := range rows {
@@ -145,6 +147,7 @@ func planTime(timings []core.StageTiming) time.Duration {
 
 // RenderAblationSubsumption prints the ablation.
 func RenderAblationSubsumption(rows []AblationSubsumptionRow) string {
+	defer pipeline.TrackWall("render")()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-14s %8s %8s %8s %12s %12s\n",
 		"Program", "Before", "After", "Factor", "Plan(with)", "Plan(w/o)")
@@ -201,6 +204,7 @@ func AblationGadgetClasses(opts Options) ([]AblationClassesRow, error) {
 
 // RenderAblationClasses prints the class ablation.
 func RenderAblationClasses(rows []AblationClassesRow) string {
+	defer pipeline.TrackWall("render")()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-16s %10s\n", "Pool", "Payloads")
 	for _, r := range rows {
@@ -329,6 +333,7 @@ func BenchPipeline(opts Options) (*PipelineBench, error) {
 
 // RenderPipelineBench prints the benchmark as a table.
 func RenderPipelineBench(b *PipelineBench) string {
+	defer pipeline.TrackWall("render")()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "pipeline bench: %s (parallelism %d, pools identical: %v)\n",
 		b.Program, b.Parallelism, b.PoolsIdentical)

@@ -1,0 +1,217 @@
+package experiments
+
+// BenchStream is the corpus scale-out benchmark behind `make bench-stream`:
+// it measures the streaming runner cold (empty disk cache), warm
+// (cross-process restarts over the same cache directory, at several worker
+// counts), and under a deliberately starved disk budget where the LRU
+// evictor must cycle. BENCH_STREAM.json is its JSON rendering.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/nofreelunch/gadget-planner/internal/pipeline"
+)
+
+// StreamBench is the full benchmark record (BENCH_STREAM.json).
+type StreamBench struct {
+	Quick    bool  `json:"quick"`
+	Cells    int   `json:"cells"`
+	Programs int   `json:"programs"`
+	Seed     int64 `json:"seed"`
+
+	// Cold vs warm throughput: the warm passes restart with a fresh
+	// process-equivalent store over the cold pass's cache directory.
+	ColdSeconds     float64 `json:"cold_seconds"`
+	WarmSeconds     float64 `json:"warm_seconds"`
+	ColdCellsPerSec float64 `json:"cold_cells_per_sec"`
+	WarmCellsPerSec float64 `json:"warm_cells_per_sec"`
+	WarmSpeedup     float64 `json:"warm_speedup"`
+
+	// Determinism: the aggregate table must render byte-identically in
+	// every arm, at every worker count.
+	ParallelismArms []int `json:"parallelism_arms"`
+	TablesIdentical bool  `json:"tables_identical"`
+
+	// Bounded memory: process peak RSS, plus sampled live-heap peaks for
+	// the whole cold pass vs its first quarter (flat memory keeps them
+	// close even though 4x the cells flowed through).
+	PeakRSSBytes         int64  `json:"peak_rss_bytes"`
+	PeakHeapBytes        uint64 `json:"peak_heap_bytes"`
+	QuarterPeakHeapBytes uint64 `json:"quarter_peak_heap_bytes"`
+	MemBudgetEntries     int    `json:"mem_budget_entries"`
+	MemEvictions         int64  `json:"mem_evictions"`
+
+	// Store behavior in the last warm pass.
+	WarmStages  []pipeline.StageStats `json:"warm_stages"`
+	WarmHitRate float64               `json:"warm_hit_rate"`
+	WarmDisk    pipeline.DiskStats    `json:"warm_disk"`
+
+	// Eviction arm: a slice of the corpus re-run against a starved disk
+	// budget; the evictor must cycle (Evictions > 0) and the slice's
+	// aggregate table must still match a store-free reference run.
+	EvictCells           int   `json:"evict_cells"`
+	EvictDiskBudget      int64 `json:"evict_disk_budget"`
+	EvictEvictions       int64 `json:"evict_evictions"`
+	EvictTablesIdentical bool  `json:"evict_tables_identical"`
+
+	OutputFailures int    `json:"output_failures"`
+	Table          string `json:"-"`
+}
+
+// streamBenchParallelisms are the warm-arm worker counts the determinism
+// acceptance criterion names.
+var streamBenchParallelisms = []int{1, 2, 8}
+
+// BenchStream runs the cold/warm/eviction arms. evictBytes is the starved
+// disk budget for the eviction arm (0 = 256 KiB). Cold-pass rows stream to
+// opts.Rows; the warm and eviction arms discard rows.
+func BenchStream(opts StreamOptions, evictBytes int64) (*StreamBench, error) {
+	opts = opts.withDefaults()
+	if evictBytes <= 0 {
+		evictBytes = 256 << 10
+	}
+	dir, err := os.MkdirTemp("", "gp-stream-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	freshStore := func(cacheDir string, budget int64) (*pipeline.Store, error) {
+		disk, err := pipeline.OpenDisk(cacheDir, pipeline.DiskOptions{MaxBytes: budget})
+		if err != nil {
+			return nil, err
+		}
+		return pipeline.NewStore().LimitMemory(opts.MemBudget).WithDisk(disk), nil
+	}
+
+	b := &StreamBench{
+		Quick:            opts.Quick,
+		Seed:             opts.Seed,
+		MemBudgetEntries: opts.MemBudget,
+		ParallelismArms:  append([]int(nil), streamBenchParallelisms...),
+		EvictDiskBudget:  evictBytes,
+		TablesIdentical:  true,
+	}
+
+	// Cold pass: empty cache directory, rows streamed to the caller.
+	cold := opts
+	cold.Store, err = freshStore(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	coldRun, err := RunStream(cold)
+	if err != nil {
+		return nil, err
+	}
+	b.Cells, b.Programs = coldRun.Cells, coldRun.Programs
+	b.ColdSeconds, b.ColdCellsPerSec = coldRun.Seconds, coldRun.CellsPerSec
+	b.PeakHeapBytes = coldRun.PeakHeapBytes
+	b.QuarterPeakHeapBytes = coldRun.QuarterPeakHeapBytes
+	b.OutputFailures = coldRun.OutputFailures
+	b.MemEvictions = cold.Store.MemEvictions()
+	b.Table = coldRun.Table
+
+	// Warm arms: each restarts with a fresh store (a new process's view)
+	// over the now-populated cache directory, at each acceptance worker
+	// count. Tables must match the cold pass byte for byte.
+	for _, par := range streamBenchParallelisms {
+		warm := opts
+		warm.Rows = nil
+		warm.Parallelism = par
+		warm.Store, err = freshStore(dir, 0)
+		if err != nil {
+			return nil, err
+		}
+		run, err := RunStream(warm)
+		if err != nil {
+			return nil, err
+		}
+		if run.Table != coldRun.Table {
+			b.TablesIdentical = false
+		}
+		b.WarmSeconds, b.WarmCellsPerSec = run.Seconds, run.CellsPerSec
+		b.WarmStages = warm.Store.Stats()
+		b.WarmHitRate = warmHitRate(b.WarmStages)
+		b.WarmDisk = warm.Store.DiskStats()
+		b.OutputFailures += run.OutputFailures
+	}
+	b.WarmSpeedup = speedup(b.ColdSeconds, b.WarmSeconds)
+
+	// Eviction arm: a quarter of the corpus against a starved disk budget
+	// in a fresh directory — the evictor must cycle — compared against a
+	// store-free run of the same slice.
+	evict := opts
+	evict.Rows = nil
+	evict.Cells = max(coldRun.Cells/4, cellsPerProgram())
+	evict.Store, err = freshStore(dir+"-small", evictBytes)
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir + "-small")
+	evictRun, err := RunStream(evict)
+	if err != nil {
+		return nil, err
+	}
+	b.EvictCells = evictRun.Cells
+	b.EvictEvictions = evict.Store.DiskStats().Evictions
+	b.OutputFailures += evictRun.OutputFailures
+
+	ref := opts
+	ref.Rows = nil
+	ref.Cells = evict.Cells
+	ref.Store = pipeline.NewDisabledStore()
+	refRun, err := RunStream(ref)
+	if err != nil {
+		return nil, err
+	}
+	b.EvictTablesIdentical = evictRun.Table == refRun.Table
+	b.OutputFailures += refRun.OutputFailures
+
+	b.PeakRSSBytes = readPeakRSS()
+	return b, nil
+}
+
+// warmHitRate is the fraction of warm-pass stage requests served from the
+// store (memory or disk tier).
+func warmHitRate(stages []pipeline.StageStats) float64 {
+	var hits, total int64
+	for _, st := range stages {
+		hits += st.Hits
+		total += st.Hits + st.Misses
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// RenderStreamBench prints the benchmark summary plus the aggregate table.
+func RenderStreamBench(b *StreamBench) string {
+	var sb strings.Builder
+	mode := "full"
+	if b.Quick {
+		mode = "quick"
+	}
+	fmt.Fprintf(&sb, "stream corpus (%s): %d cells over %d generated programs (seed %d)\n",
+		mode, b.Cells, b.Programs, b.Seed)
+	fmt.Fprintf(&sb, "  cold: %s (%.1f cells/s)   warm: %s (%.1f cells/s)   speedup %.2fx\n",
+		fmtDur(b.ColdSeconds), b.ColdCellsPerSec, fmtDur(b.WarmSeconds), b.WarmCellsPerSec, b.WarmSpeedup)
+	fmt.Fprintf(&sb, "  tables identical across parallelism %v: %t\n", b.ParallelismArms, b.TablesIdentical)
+	fmt.Fprintf(&sb, "  peak RSS %.1f MiB; live heap peak %.1f MiB (first quarter %.1f MiB); mem tier %d entries, %d evicted\n",
+		float64(b.PeakRSSBytes)/(1<<20), float64(b.PeakHeapBytes)/(1<<20),
+		float64(b.QuarterPeakHeapBytes)/(1<<20), b.MemBudgetEntries, b.MemEvictions)
+	fmt.Fprintf(&sb, "  warm hit rate %.0f%%; warm disk: %.1f MiB read, %d evictions\n",
+		100*b.WarmHitRate, float64(b.WarmDisk.BytesRead)/(1<<20), b.WarmDisk.Evictions)
+	fmt.Fprintf(&sb, "  eviction arm: %d cells under %d KiB budget -> %d disk evictions; table matches store-free run: %t\n",
+		b.EvictCells, b.EvictDiskBudget>>10, b.EvictEvictions, b.EvictTablesIdentical)
+	fmt.Fprintf(&sb, "  output-stability failures: %d\n\n", b.OutputFailures)
+	sb.WriteString(b.Table)
+	return sb.String()
+}
+
+func fmtDur(secs float64) string {
+	return (time.Duration(secs*float64(time.Second)) / time.Millisecond * time.Millisecond).String()
+}

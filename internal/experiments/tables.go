@@ -60,6 +60,7 @@ func Fig1(opts Options) ([]Fig1Row, error) {
 
 // RenderFig1 prints the figure as a table.
 func RenderFig1(rows []Fig1Row) string {
+	defer pipeline.TrackWall("render")()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-14s %10s %10s %10s %8s %8s\n",
 		"Program", "Original", "LLVM-Obf", "Tigress", "LLVM-x", "Tig-x")
@@ -141,6 +142,7 @@ func Table1(opts Options) ([]Table1Row, error) {
 
 // RenderTable1 prints Table I.
 func RenderTable1(rows []Table1Row) string {
+	defer pipeline.TrackWall("render")()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-10s %12s %12s %8s\n", "Type", "Original", "Obfuscated", "IR")
 	for _, r := range rows {
@@ -323,6 +325,7 @@ func toolOrder(name string) int {
 
 // RenderTable4 prints Table IV.
 func RenderTable4(rows []Table4Row) string {
+	defer pipeline.TrackWall("render")()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-10s %-15s %10s %6s %8s %9s %6s %8s\n",
 		"Obf", "Tool", "Pool", "Used", "execve", "mprotect", "mmap", "Total")
@@ -359,6 +362,7 @@ func Table5(gpAttacks map[string][]*core.Attack) []Table5Row {
 
 // RenderTable5 prints Table V.
 func RenderTable5(rows []Table5Row) string {
+	defer pipeline.TrackWall("render")()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-15s %10s %10s %6s %6s %6s %6s\n",
 		"Tool", "GadgetLen", "ChainLen", "Ret", "IJ", "DJ", "CJ")
@@ -462,6 +466,7 @@ func Fig5(opts Options) ([]Fig5Row, error) {
 
 // RenderFig5 prints the figure as a table.
 func RenderFig5(rows []Fig5Row) string {
+	defer pipeline.TrackWall("render")()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-8s %10s %10s %12s\n", "Pass", "Gadgets", "Payloads", "NewPayloads")
 	for _, r := range rows {
@@ -516,6 +521,7 @@ func Table6(opts Options) ([]Table6Row, error) {
 
 // RenderTable6 prints Table VI.
 func RenderTable6(rows []Table6Row) string {
+	defer pipeline.TrackWall("render")()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-12s %-10s %9s %4s %7s %4s %4s\n",
 		"Benchmark", "Obf", "Gadgets", "RG", "Angrop", "SGC", "GP")
@@ -602,6 +608,7 @@ func PoolComposition(opts Options) ([]PoolCompositionRow, error) {
 
 // RenderPoolComposition prints the class table.
 func RenderPoolComposition(rows []PoolCompositionRow) string {
+	defer pipeline.TrackWall("render")()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-10s %8s %8s %8s %8s %8s\n",
 		"Obf", "Pool", "CondJ", "MergedDJ", "Indirect", "Deref")

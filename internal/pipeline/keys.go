@@ -49,6 +49,7 @@ func (s *Store) BinaryKey(bin *sbf.Binary) string {
 	if k, ok := s.binKeys.Load(bin); ok {
 		return k.(string)
 	}
+	defer TrackWall("keyhash")()
 	sum := sha256.Sum256(bin.Marshal())
 	k := "bin:" + hex.EncodeToString(sum[:16])
 	s.binKeys.Store(bin, k)

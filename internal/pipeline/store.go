@@ -19,6 +19,7 @@
 package pipeline
 
 import (
+	"container/list"
 	"fmt"
 	"runtime"
 	"strings"
@@ -73,6 +74,15 @@ type Store struct {
 	entries  map[string]*entry
 	binKeys  sync.Map // *sbf.Binary -> string, memoized content hashes
 	counters [numStages]stageCounter
+
+	// maxEntries bounds the memory tier (0 = unbounded): completed
+	// artifacts beyond the budget are dropped least-recently-used, so
+	// long-running corpus sweeps release each cell's artifacts instead of
+	// accumulating the whole matrix. With a disk tier attached, an evicted
+	// artifact is usually re-served from disk rather than recomputed.
+	maxEntries   int
+	lru          *list.List // front = most recent; holds *entry
+	memEvictions atomic.Int64
 }
 
 type stageCounter struct {
@@ -89,6 +99,13 @@ type entry struct {
 	err     error
 	compute time.Duration
 	alloc   uint64
+
+	// key and elem tie the entry to the LRU list of a bounded store; done
+	// marks the computation finished — only done entries are evictable, so
+	// waiters blocked in once.Do never lose their entry mid-flight.
+	key  string
+	elem *list.Element // guarded by Store.mu
+	done atomic.Bool
 }
 
 // NewStore returns an empty caching store.
@@ -107,6 +124,67 @@ func NewDisabledStore() *Store {
 // Caching reports whether the store reuses artifacts (false for nil and
 // disabled stores).
 func (s *Store) Caching() bool { return s != nil && s.caching }
+
+// LimitMemory bounds the memory tier to maxEntries completed artifacts,
+// evicting least-recently-used ones beyond the budget, and returns s for
+// chaining. It is how streaming workloads keep peak memory flat in cell
+// count: each cell's artifacts age out once its neighbors stop sharing
+// them, and the disk tier (if attached) keeps serving evicted keys.
+// A no-op on nil/disabled stores and for maxEntries <= 0.
+func (s *Store) LimitMemory(maxEntries int) *Store {
+	if s != nil && s.caching && maxEntries > 0 {
+		s.mu.Lock()
+		s.maxEntries = maxEntries
+		if s.lru == nil {
+			s.lru = list.New()
+			for key, e := range s.entries {
+				e.key = key
+				e.elem = s.lru.PushFront(e)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return s
+}
+
+// MemEvictions reports how many completed artifacts the bounded memory
+// tier has dropped. Nil-safe.
+func (s *Store) MemEvictions() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.memEvictions.Load()
+}
+
+// MemEntries reports the memory tier's current artifact count. Nil-safe.
+func (s *Store) MemEntries() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// evictMem drops least-recently-used completed entries until the memory
+// tier is back under budget. Callers hold s.mu. In-flight entries (done
+// not yet set) are skipped: their waiters hold the *entry and must see the
+// computation finish.
+func (s *Store) evictMem() {
+	if s.maxEntries <= 0 || s.lru == nil {
+		return
+	}
+	for el := s.lru.Back(); el != nil && len(s.entries) > s.maxEntries; {
+		prev := el.Prev()
+		e := el.Value.(*entry)
+		if e.done.Load() {
+			s.lru.Remove(el)
+			delete(s.entries, e.key)
+			s.memEvictions.Add(1)
+		}
+		el = prev
+	}
+}
 
 // WithDisk attaches a persistent tier and returns s for chaining. It is a
 // no-op on nil and disabled stores: -nocache means no reuse at all, so the
@@ -173,15 +251,20 @@ func Do[T any](s *Store, st Stage, key string, compute func() (T, error)) (T, In
 	s.mu.Lock()
 	e, ok := s.entries[key]
 	if !ok {
-		e = &entry{}
+		e = &entry{key: key}
 		s.entries[key] = e
+		if s.lru != nil {
+			e.elem = s.lru.PushFront(e)
+		}
+	} else if s.lru != nil && e.elem != nil {
+		s.lru.MoveToFront(e.elem)
 	}
 	s.mu.Unlock()
 
 	const (
-		servedMemory = iota // once already done: in-memory hit
-		servedDisk          // decoded from the persistent tier
-		servedCompute       // computed now
+		servedMemory  = iota // once already done: in-memory hit
+		servedDisk           // decoded from the persistent tier
+		servedCompute        // computed now
 	)
 	served := servedMemory
 	e.once.Do(func() {
@@ -216,6 +299,14 @@ func Do[T any](s *Store, st Stage, key string, compute func() (T, error)) (T, In
 			}
 		}
 	})
+	if !e.done.Load() {
+		e.done.Store(true)
+	}
+	if s.maxEntries > 0 {
+		s.mu.Lock()
+		s.evictMem()
+		s.mu.Unlock()
+	}
 	if served == servedMemory {
 		s.counters[st].hits.Add(1)
 	}
@@ -311,6 +402,10 @@ func (s *Store) StatsLine() string {
 		fmt.Fprintf(&sb, "; disk: %d/%d hit/miss, %d evicted, %.1f/%.1f MB r/w",
 			diskHits, diskMisses, ds.Evictions,
 			float64(ds.BytesRead)/1e6, float64(ds.BytesWritten)/1e6)
+	}
+	if s.maxEntries > 0 {
+		fmt.Fprintf(&sb, "; mem: %d/%d entries, %d evicted",
+			s.MemEntries(), s.maxEntries, s.MemEvictions())
 	}
 	return sb.String()
 }

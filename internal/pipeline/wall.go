@@ -1,0 +1,101 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Wall buckets account for the suite wall time the per-stage store counters
+// cannot see. A fully warm run still spends seconds outside stage
+// computations — table rendering, payload verification inside the plan
+// stage's closure, emulator replay in the netperf case study, fingerprint
+// hashing — and BENCH_CACHE.json's "100% hits yet 5.1s" floor is exactly
+// that unaccounted remainder. Callers wrap those regions with TrackWall and
+// the CLIs print WallLine next to Store.StatsLine, turning the uncached
+// floor into named numbers.
+//
+// The registry is process-global on purpose: the regions it names span
+// packages (core verifies payloads, experiments renders tables) and the
+// consumer is a per-process stats line, exactly like the stage counters a
+// Store accumulates per run.
+
+var (
+	wallMu      sync.Mutex
+	wallBuckets = map[string]*wallBucket{}
+)
+
+type wallBucket struct {
+	total time.Duration
+	count int64
+}
+
+// TrackWall starts timing a named non-stage region and returns the stop
+// function; use `defer TrackWall("render")()` around a region. Safe for
+// concurrent use; nested and overlapping regions simply accumulate (the
+// buckets are a breakdown, not a partition).
+func TrackWall(name string) func() {
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		wallMu.Lock()
+		b := wallBuckets[name]
+		if b == nil {
+			b = &wallBucket{}
+			wallBuckets[name] = b
+		}
+		b.total += d
+		b.count++
+		wallMu.Unlock()
+	}
+}
+
+// WallBucketStat is one named region's accumulated cost.
+type WallBucketStat struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Count   int64   `json:"count"`
+}
+
+// WallStats snapshots the buckets, most expensive first (name-ordered on
+// ties, so the rendering is deterministic for fixed durations).
+func WallStats() []WallBucketStat {
+	wallMu.Lock()
+	defer wallMu.Unlock()
+	out := make([]WallBucketStat, 0, len(wallBuckets))
+	for name, b := range wallBuckets {
+		out = append(out, WallBucketStat{Name: name, Seconds: b.total.Seconds(), Count: b.count})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seconds != out[j].Seconds {
+			return out[i].Seconds > out[j].Seconds
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ResetWall clears the buckets (benchmarks isolating one pass's breakdown).
+func ResetWall() {
+	wallMu.Lock()
+	wallBuckets = map[string]*wallBucket{}
+	wallMu.Unlock()
+}
+
+// WallLine renders the buckets as one stats line, in the style of
+// Store.StatsLine: where the run's non-stage wall time went.
+func WallLine() string {
+	stats := WallStats()
+	if len(stats) == 0 {
+		return "wall: no tracked regions"
+	}
+	var sb strings.Builder
+	sb.WriteString("wall:")
+	for _, b := range stats {
+		fmt.Fprintf(&sb, " %s=%.2fs/%d", b.Name, b.Seconds, b.Count)
+	}
+	sb.WriteString(" time/calls")
+	return sb.String()
+}
