@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test vet fmt race bench bench-solver bench-planner bench-cache bench-disk bench-stream bench-stream-quick check
+.PHONY: build test vet fmt race bench bench-solver bench-planner bench-cache bench-disk bench-stream bench-stream-quick bench-serve bench-serve-quick check
 
 build:
 	$(GO) build ./...
@@ -17,8 +17,11 @@ fmt:
 	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
+# The experiments package runs ~2.5 min without -race; with the race
+# detector on a small machine it can exceed go test's default 10m
+# per-package timeout, so give the suite explicit headroom.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 25m ./...
 
 bench:
 	$(GO) test -run xxx -bench 'Parallel' -benchtime 3x ./internal/gadget/ ./internal/subsume/
@@ -57,6 +60,17 @@ bench-stream:
 bench-stream-quick:
 	$(GO) run ./cmd/experiments -stream -quick
 
+# Analysis-service benchmark: the request set per-process cold vs served by
+# one warm shared gpd-style server over a unix socket, at client concurrency
+# 1/4/16 plus an 8-way identical-submission dedup arm; writes
+# BENCH_SERVE.json and cross-checks every response byte-identical to the
+# local per-process reference.
+bench-serve:
+	$(GO) run ./cmd/experiments -run servebench
+
+bench-serve-quick:
+	$(GO) run ./cmd/experiments -run servebench -quick
+
 # CI gate: formatting, static checks, the full test suite under the race
 # detector, and the benchmarks' built-in determinism/identity cross-checks.
-check: fmt vet race bench-planner bench-cache bench-disk bench-stream-quick
+check: fmt vet race bench-planner bench-cache bench-disk bench-stream-quick bench-serve-quick

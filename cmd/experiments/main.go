@@ -9,7 +9,8 @@
 // table7, netperf, composition, ablation, pipeline (writes
 // BENCH_PIPELINE.json), solverbench (writes BENCH_SOLVER.json),
 // plannerbench (writes BENCH_PLANNER.json), cachebench (writes
-// BENCH_CACHE.json), diskbench (writes BENCH_DISK.json), stream (the
+// BENCH_CACHE.json), diskbench (writes BENCH_DISK.json), servebench (the
+// analysis-service benchmark; writes BENCH_SERVE.json), stream (the
 // generated-corpus scale-out benchmark; writes BENCH_STREAM.json and a
 // per-cell BENCH_STREAM.jsonl; also reachable as the -stream shorthand,
 // with -cells sizing the corpus and -cachesize starving the eviction arm).
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"github.com/nofreelunch/gadget-planner/internal/benchprog"
+	"github.com/nofreelunch/gadget-planner/internal/cliutil"
 	"github.com/nofreelunch/gadget-planner/internal/experiments"
 	"github.com/nofreelunch/gadget-planner/internal/pipeline"
 	"github.com/nofreelunch/gadget-planner/internal/planner"
@@ -48,15 +50,13 @@ func run() error {
 	which := flag.String("run", "all", "comma-separated experiments, or all")
 	quick := flag.Bool("quick", false, "trim the corpus for a fast pass")
 	seed := flag.Int64("seed", 42, "obfuscation seed")
-	parallel := flag.Int("parallel", 0, "experiment-cell workers (0 = all cores, 1 = serial; results are identical)")
 	benchJSON := flag.String("benchjson", "BENCH_PIPELINE.json", "output path for the pipeline benchmark")
 	solverJSON := flag.String("solverjson", "BENCH_SOLVER.json", "output path for the solver triage benchmark")
 	plannerJSON := flag.String("plannerjson", "BENCH_PLANNER.json", "output path for the planner benchmark")
 	cacheJSON := flag.String("cachejson", "BENCH_CACHE.json", "output path for the artifact-store benchmark")
 	diskJSON := flag.String("diskjson", "BENCH_DISK.json", "output path for the persistent-store benchmark")
-	noCache := flag.Bool("nocache", false, "disable the artifact store (A/B benchmarking; results are identical)")
-	cacheDir := flag.String("cachedir", os.Getenv("GP_CACHE_DIR"), "persistent artifact cache directory (default $GP_CACHE_DIR; empty disables the disk tier)")
-	noDisk := flag.Bool("nodisk", false, "disable the persistent cache tier even with -cachedir set (A/B benchmarking; results are identical)")
+	serveJSON := flag.String("servejson", "BENCH_SERVE.json", "output path for the analysis-service benchmark")
+	sf := cliutil.RegisterStore(flag.CommandLine).WithParallel(flag.CommandLine)
 	stream := flag.Bool("stream", false, "shorthand for -run stream: the generated-corpus streaming benchmark")
 	cells := flag.Int("cells", 0, "stream: target cell count (0 = 216, or 24 with -quick)")
 	cacheSize := flag.Int64("cachesize", 0, "stream: eviction-arm disk budget in bytes (0 = 256 KiB)")
@@ -64,18 +64,11 @@ func run() error {
 	streamJSONL := flag.String("streamjsonl", "BENCH_STREAM.jsonl", "output path for the streaming per-cell rows")
 	flag.Parse()
 
-	store := pipeline.NewStore()
-	if *noCache {
-		store = pipeline.NewDisabledStore()
+	store, err := sf.Open()
+	if err != nil {
+		return err
 	}
-	if *cacheDir != "" && !*noDisk && !*noCache {
-		disk, err := pipeline.OpenDisk(*cacheDir, pipeline.DiskOptions{})
-		if err != nil {
-			return err
-		}
-		store.WithDisk(disk)
-	}
-	opts := experiments.Options{Seed: *seed, Quick: *quick, Parallelism: *parallel, Store: store}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Parallelism: sf.Parallelism(), Store: store}
 	if *quick {
 		opts.Programs = benchprog.Benchmarks()[:3]
 		opts.Planner = planner.Options{MaxPlans: 12, MaxNodes: 6000, Timeout: 15 * time.Second}
@@ -264,6 +257,22 @@ func run() error {
 		}
 		fmt.Printf("wrote %s\n", *diskJSON)
 	}
+	if want("servebench") {
+		res, err := experiments.BenchServe(opts)
+		if err != nil {
+			return err
+		}
+		section("Serve benchmark — shared analysis service, cold vs warm, N clients")
+		fmt.Print(experiments.RenderServeBench(res))
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*serveJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *serveJSON)
+	}
 	if selected["stream"] {
 		rowsFile, err := os.Create(*streamJSONL)
 		if err != nil {
@@ -272,7 +281,7 @@ func run() error {
 		res, err := experiments.BenchStream(experiments.StreamOptions{
 			Cells:       *cells,
 			Seed:        *seed,
-			Parallelism: *parallel,
+			Parallelism: sf.Parallelism(),
 			Rows:        rowsFile,
 			Quick:       *quick,
 		}, *cacheSize)

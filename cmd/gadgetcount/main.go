@@ -6,21 +6,27 @@
 //
 //	gadgetcount -bin prog.sbf
 //	gadgetcount -prog crc            # original vs LLVM-Obf vs Tigress
+//	gadgetcount -server unix:/tmp/gpd.sock -prog crc
 //
 // Builds and scans run through the shared artifact store; with -cachedir
 // (or GP_CACHE_DIR) they persist across invocations, like the other CLIs.
+// With -server (or GPD_ADDR) the scans are served by a running gpd, whose
+// warm store is shared by every client.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"github.com/nofreelunch/gadget-planner/internal/benchprog"
+	"github.com/nofreelunch/gadget-planner/internal/cliutil"
 	"github.com/nofreelunch/gadget-planner/internal/gadget"
 	"github.com/nofreelunch/gadget-planner/internal/obfuscate"
 	"github.com/nofreelunch/gadget-planner/internal/pipeline"
 	"github.com/nofreelunch/gadget-planner/internal/sbf"
+	"github.com/nofreelunch/gadget-planner/internal/serve"
 )
 
 func main() {
@@ -35,25 +41,32 @@ var classes = []gadget.JmpType{
 	gadget.TypeCDJ, gadget.TypeCIJ, gadget.TypeSyscall,
 }
 
+// obfConfigs is the standard comparison: the paper's original vs LLVM-Obf
+// vs Tigress arms.
+var obfConfigs = []struct {
+	name string
+	spec string
+}{
+	{"original", ""},
+	{"llvm-obf", "llvm"},
+	{"tigress", "tigress"},
+}
+
 func run() error {
 	binPath := flag.String("bin", "", "SBF binary")
 	progName := flag.String("prog", "", "built-in benchmark to compare across obfuscations")
 	seed := flag.Int64("seed", 42, "obfuscation seed")
-	noCache := flag.Bool("nocache", false, "disable the artifact store (A/B benchmarking; results are identical)")
-	cacheDir := flag.String("cachedir", os.Getenv("GP_CACHE_DIR"), "persistent artifact cache directory (default $GP_CACHE_DIR; empty disables the disk tier)")
-	noDisk := flag.Bool("nodisk", false, "disable the persistent cache tier even with -cachedir set (A/B benchmarking; results are identical)")
+	server := cliutil.ServerFlag(flag.CommandLine)
+	sf := cliutil.RegisterStore(flag.CommandLine)
 	flag.Parse()
 
-	store := pipeline.NewStore()
-	if *noCache {
-		store = pipeline.NewDisabledStore()
+	if *server != "" {
+		return runServed(*server, *binPath, *progName, *seed)
 	}
-	if *cacheDir != "" && !*noDisk && !*noCache {
-		disk, err := pipeline.OpenDisk(*cacheDir, pipeline.DiskOptions{})
-		if err != nil {
-			return err
-		}
-		store.WithDisk(disk)
+
+	store, err := sf.Open()
+	if err != nil {
+		return err
 	}
 
 	if *binPath != "" {
@@ -75,15 +88,12 @@ func run() error {
 	if !ok {
 		return fmt.Errorf("unknown program %q", *progName)
 	}
-	for _, cfg := range []struct {
-		name   string
-		passes []obfuscate.Pass
-	}{
-		{"original", nil},
-		{"llvm-obf", obfuscate.LLVMObf()},
-		{"tigress", obfuscate.Tigress()},
-	} {
-		bin, err := pipeline.Build(store, p, cfg.passes, *seed)
+	for _, cfg := range obfConfigs {
+		passes, err := obfuscate.ParseSpec(cfg.spec)
+		if err != nil {
+			return err
+		}
+		bin, err := pipeline.Build(store, p, passes, *seed)
 		if err != nil {
 			return err
 		}
@@ -97,5 +107,46 @@ func report(store *pipeline.Store, label string, bin *sbf.Binary) {
 	fmt.Printf("%s: text=%d bytes, %d gadgets\n", label, bin.CodeSize(), gadget.TotalCount(counts))
 	for _, t := range classes {
 		fmt.Printf("  %-8s %7d\n", t, counts[t])
+	}
+}
+
+// runServed sends the scans to a gpd instance instead of computing locally.
+func runServed(addr, binPath, progName string, seed int64) error {
+	client, err := serve.Dial(addr)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if binPath != "" {
+		data, err := os.ReadFile(binPath)
+		if err != nil {
+			return err
+		}
+		res, err := client.Run(ctx, serve.Request{Op: serve.OpCount, Binary: data, Name: binPath}, nil)
+		if err != nil {
+			return err
+		}
+		reportServed(binPath, res)
+		return nil
+	}
+	if progName == "" {
+		return fmt.Errorf("need -bin or -prog")
+	}
+	for _, cfg := range obfConfigs {
+		res, err := client.Run(ctx, serve.Request{
+			Op: serve.OpCount, Program: progName, Obf: cfg.spec, Seed: seed,
+		}, nil)
+		if err != nil {
+			return err
+		}
+		reportServed(fmt.Sprintf("%s/%s", progName, cfg.name), res)
+	}
+	return nil
+}
+
+func reportServed(label string, res *serve.Result) {
+	fmt.Printf("%s: text=%d bytes, %d gadgets\n", label, res.TextBytes, res.Gadgets)
+	for _, row := range res.Counts {
+		fmt.Printf("  %-8s %7d\n", row.Class, row.Count)
 	}
 }

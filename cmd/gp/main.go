@@ -5,18 +5,28 @@
 // Usage:
 //
 //	gp -bin prog.sbf [-goal execve|mprotect|mmap|all] [-max 8] [-dump] [-v]
+//	gp -server unix:/tmp/gpd.sock -bin prog.sbf   # served by a shared gpd
+//
+// With -server (or GPD_ADDR) the binary is submitted to a running gpd
+// analysis service instead of being analyzed in-process: stage progress
+// streams back as it happens, and the result is byte-identical to the
+// local run — the daemon just keeps the artifact store warm across
+// clients.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"github.com/nofreelunch/gadget-planner/internal/cliutil"
 	"github.com/nofreelunch/gadget-planner/internal/core"
 	"github.com/nofreelunch/gadget-planner/internal/pipeline"
 	"github.com/nofreelunch/gadget-planner/internal/planner"
 	"github.com/nofreelunch/gadget-planner/internal/sbf"
+	"github.com/nofreelunch/gadget-planner/internal/serve"
 )
 
 func main() {
@@ -33,12 +43,10 @@ func run() error {
 	dump := flag.Bool("dump", false, "dump payload bytes")
 	verbose := flag.Bool("v", false, "print chains")
 	timeout := flag.Duration("timeout", 30*time.Second, "planning timeout per goal")
-	parallel := flag.Int("parallel", 0, "analysis workers (0 = all cores, 1 = serial; results are identical)")
 	noTriage := flag.Bool("notriage", false, "disable solver query triage (A/B benchmarking; results are identical)")
 	noPlanCache := flag.Bool("noplancache", false, "disable the planner's provider cache (A/B benchmarking; results are identical)")
-	noCache := flag.Bool("nocache", false, "disable the artifact store (A/B benchmarking; results are identical)")
-	cacheDir := flag.String("cachedir", os.Getenv("GP_CACHE_DIR"), "persistent artifact cache directory (default $GP_CACHE_DIR; empty disables the disk tier)")
-	noDisk := flag.Bool("nodisk", false, "disable the persistent cache tier even with -cachedir set (A/B benchmarking; results are identical)")
+	server := cliutil.ServerFlag(flag.CommandLine)
+	sf := cliutil.RegisterStore(flag.CommandLine).WithParallel(flag.CommandLine)
 	flag.Parse()
 
 	if *binPath == "" {
@@ -48,25 +56,25 @@ func run() error {
 	if err != nil {
 		return err
 	}
+
+	if *server != "" {
+		if *noTriage || *noPlanCache {
+			return fmt.Errorf("-notriage/-noplancache are local A/B knobs; the server uses the canonical configuration")
+		}
+		return runServed(*server, data, *binPath, *goalName, *maxPlans, *timeout, *dump, *verbose)
+	}
+
 	bin, err := sbf.Unmarshal(data)
 	if err != nil {
 		return err
 	}
-
-	store := pipeline.NewStore()
-	if *noCache {
-		store = pipeline.NewDisabledStore()
-	}
-	if *cacheDir != "" && !*noDisk && !*noCache {
-		disk, err := pipeline.OpenDisk(*cacheDir, pipeline.DiskOptions{})
-		if err != nil {
-			return err
-		}
-		store.WithDisk(disk)
+	store, err := sf.Open()
+	if err != nil {
+		return err
 	}
 	cfg := core.Config{
 		Planner:     planner.Options{MaxPlans: *maxPlans, Timeout: *timeout, DisableCache: *noPlanCache},
-		Parallelism: *parallel,
+		Parallelism: sf.Parallelism(),
 		Store:       store,
 	}
 	cfg.Subsume.DisableTriage = *noTriage
@@ -117,4 +125,59 @@ func run() error {
 	fmt.Println(store.StatsLine())
 	fmt.Println(pipeline.WallLine())
 	return nil
+}
+
+// runServed submits the binary to a gpd instance and renders the streamed
+// response. The body it prints is the result's canonical rendering — the
+// same bytes a local run of this request produces.
+func runServed(addr string, data []byte, name, goal string, maxPlans int, timeout time.Duration, dump, verbose bool) error {
+	client, err := serve.Dial(addr)
+	if err != nil {
+		return err
+	}
+	req := serve.Request{
+		Op:        serve.OpPlan,
+		Binary:    data,
+		Name:      name,
+		Goal:      goal,
+		MaxPlans:  maxPlans,
+		TimeoutMS: timeout.Milliseconds(),
+	}
+	progress := func(ev serve.StageEvent) {
+		if !verbose {
+			return
+		}
+		mark := ""
+		if ev.Cached {
+			mark = "  (cached)"
+		}
+		fmt.Fprintf(os.Stderr, "  %-20s %8.1f ms%s\n", ev.Stage, ev.Millis, mark)
+	}
+	res, err := client.Run(context.Background(), req, progress)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("server %s\n", addr)
+	fmt.Print(res.Canon())
+	if dump {
+		for _, g := range res.Goals {
+			for _, p := range g.Payloads {
+				fmt.Print(dumpPayload(g.Goal, p))
+			}
+		}
+	}
+	return nil
+}
+
+// dumpPayload renders a served payload in payload.Dump's format.
+func dumpPayload(goal string, p serve.PayloadResult) string {
+	out := fmt.Sprintf("payload @ %#x, %d bytes, goal %s\n", p.Base, len(p.Data), goal)
+	for off := 0; off+8 <= len(p.Data); off += 8 {
+		var v uint64
+		for i := 7; i >= 0; i-- {
+			v = v<<8 | uint64(p.Data[off+i])
+		}
+		out += fmt.Sprintf("  +%04x: %016x\n", off, v)
+	}
+	return out
 }

@@ -12,9 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"github.com/nofreelunch/gadget-planner/internal/benchprog"
+	"github.com/nofreelunch/gadget-planner/internal/cliutil"
 	"github.com/nofreelunch/gadget-planner/internal/codegen"
 	"github.com/nofreelunch/gadget-planner/internal/obfuscate"
 	"github.com/nofreelunch/gadget-planner/internal/pipeline"
@@ -36,8 +36,7 @@ func run() error {
 	execute := flag.Bool("run", false, "run the binary in the emulator after building")
 	selfmod := flag.Int("selfmod", 0, "apply self-modification with this XOR key (1-255)")
 	list := flag.Bool("list", false, "list built-in benchmark programs")
-	cacheDir := flag.String("cachedir", os.Getenv("GP_CACHE_DIR"), "persistent artifact cache directory (default $GP_CACHE_DIR; empty disables the disk tier)")
-	noDisk := flag.Bool("nodisk", false, "disable the persistent cache tier even with -cachedir set (A/B benchmarking; results are identical)")
+	sf := cliutil.RegisterStore(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -65,7 +64,7 @@ func run() error {
 		return fmt.Errorf("need -src or -prog")
 	}
 
-	passes, err := parsePasses(*obfSpec)
+	passes, err := obfuscate.ParseSpec(*obfSpec)
 	if err != nil {
 		return err
 	}
@@ -73,13 +72,9 @@ func run() error {
 	// Build through the same staged pipeline the experiments use. A CLI
 	// invocation is a one-shot in-memory store, but with -cachedir (or
 	// GP_CACHE_DIR) the persistent tier carries builds across invocations.
-	store := pipeline.NewStore()
-	if *cacheDir != "" && !*noDisk {
-		disk, err := pipeline.OpenDisk(*cacheDir, pipeline.DiskOptions{})
-		if err != nil {
-			return err
-		}
-		store.WithDisk(disk)
+	store, err := sf.Open()
+	if err != nil {
+		return err
 	}
 	bin, err := pipeline.Build(store, prog, passes, *seed)
 	if err != nil {
@@ -110,24 +105,4 @@ func run() error {
 			res.Stdout, res.ExitCode, res.Steps)
 	}
 	return nil
-}
-
-func parsePasses(spec string) ([]obfuscate.Pass, error) {
-	switch spec {
-	case "":
-		return nil, nil
-	case "llvm":
-		return obfuscate.LLVMObf(), nil
-	case "tigress":
-		return obfuscate.Tigress(), nil
-	}
-	var out []obfuscate.Pass
-	for _, name := range strings.Split(spec, ",") {
-		p, err := obfuscate.ByName(strings.TrimSpace(name))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p)
-	}
-	return out, nil
 }

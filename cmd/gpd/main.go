@@ -1,0 +1,137 @@
+// Command gpd is the long-running analysis service: one process keeps the
+// artifact store warm and serves gadget-count/analyze/plan requests from N
+// clients over HTTP (TCP and/or a unix socket). Concurrent identical
+// requests collapse onto a single execution, overlapping requests dedup
+// per stage through the store's singleflight, and a per-stage gate bounds
+// compute concurrency so a burst of clients queues instead of oversubscribing.
+//
+// Usage:
+//
+//	gpd -socket /tmp/gpd.sock [-listen :7209] [-cachedir DIR] [-parallel N]
+//
+// Clients: gp -server unix:/tmp/gpd.sock ..., gadgetcount -server ...,
+// or any HTTP client POSTing JSON to /run (the response is a JSONL stream
+// of stage events followed by the result). GET /stats reports per-stage
+// hit rates, pool depths, and dedup counters; GET /healthz flips to 503
+// while draining. SIGTERM/SIGINT starts a graceful drain: new requests are
+// refused, in-flight ones finish (up to -drain), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"github.com/nofreelunch/gadget-planner/internal/cliutil"
+	"github.com/nofreelunch/gadget-planner/internal/pipeline"
+	"github.com/nofreelunch/gadget-planner/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gpd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", "", "TCP listen address (e.g. :7209; empty disables TCP)")
+	socket := flag.String("socket", "", "unix socket path (empty disables the socket listener)")
+	pool := flag.Int("pool", 0, "per-stage compute slots (0 = same as -parallel)")
+	memLimit := flag.Int("memlimit", 0, "memory-tier entry limit, LRU-evicted (0 = unbounded)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-drain window after SIGTERM before in-flight work is canceled")
+	sf := cliutil.RegisterStore(flag.CommandLine).WithParallel(flag.CommandLine)
+	flag.Parse()
+
+	if *listen == "" && *socket == "" {
+		return fmt.Errorf("need -listen and/or -socket")
+	}
+
+	store, err := sf.Open()
+	if err != nil {
+		return err
+	}
+	par := sf.Parallelism()
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	slots := *pool
+	if slots <= 0 {
+		slots = par
+	}
+	store.WithGate(pipeline.NewGate(slots, nil))
+	if *memLimit > 0 {
+		store.LimitMemory(*memLimit)
+	}
+
+	srv := serve.NewServer(store, par)
+	// Computations run under this context, not per-request contexts: shared
+	// artifacts must not die with the client that happened to start them.
+	// It is canceled only when the drain window expires.
+	computeCtx, cancelCompute := context.WithCancel(context.Background())
+	defer cancelCompute()
+	srv.BaseContext = computeCtx
+
+	hsrv := &http.Server{Handler: srv.Handler()}
+	var listeners []net.Listener
+	if *socket != "" {
+		// A stale socket file from an unclean shutdown would block the bind.
+		if err := os.Remove(*socket); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+		l, err := net.Listen("unix", *socket)
+		if err != nil {
+			return err
+		}
+		defer os.Remove(*socket)
+		listeners = append(listeners, l)
+		log.Printf("gpd: serving on unix:%s", *socket)
+	}
+	if *listen != "" {
+		l, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		listeners = append(listeners, l)
+		log.Printf("gpd: serving on %s", l.Addr())
+	}
+	log.Printf("gpd: parallelism=%d pool=%d %s", par, slots, store.StatsLine())
+
+	serveErr := make(chan error, len(listeners))
+	for _, l := range listeners {
+		go func(l net.Listener) { serveErr <- hsrv.Serve(l) }(l)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	}
+
+	// Graceful drain: refuse new work, let in-flight requests finish, then
+	// cancel whatever is still computing when the window closes.
+	log.Printf("gpd: draining (up to %s)...", *drain)
+	srv.SetDraining(true)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	shutdownErr := hsrv.Shutdown(dctx)
+	cancelCompute()
+	log.Printf("gpd: %s", store.StatsLine())
+	if shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed) {
+		return shutdownErr
+	}
+	return nil
+}

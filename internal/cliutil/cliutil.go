@@ -1,0 +1,80 @@
+// Package cliutil is the shared command-line wiring for the cmd/* mains:
+// every CLI opens the artifact store the same way (-nocache for the A/B
+// arm, -cachedir/$GP_CACHE_DIR for the persistent tier, -nodisk to disable
+// just that tier) and addresses the analysis service the same way
+// (-server/$GPD_ADDR). Factoring it here keeps the four binaries from
+// drifting — the flag set had already diverged once before this package
+// existed.
+package cliutil
+
+import (
+	"flag"
+	"os"
+
+	"github.com/nofreelunch/gadget-planner/internal/pipeline"
+)
+
+// StoreFlags is the store-configuration flag group. Register it with
+// RegisterStore, then Open the store after flag.Parse.
+type StoreFlags struct {
+	NoCache  *bool
+	CacheDir *string
+	NoDisk   *bool
+	Parallel *int
+}
+
+// RegisterStore registers -nocache, -cachedir (defaulting to
+// $GP_CACHE_DIR), and -nodisk on fs.
+func RegisterStore(fs *flag.FlagSet) *StoreFlags {
+	f := &StoreFlags{}
+	f.NoCache = fs.Bool("nocache", false,
+		"disable the artifact store (A/B benchmarking; results are identical)")
+	f.CacheDir = fs.String("cachedir", os.Getenv("GP_CACHE_DIR"),
+		"persistent artifact cache directory (default $GP_CACHE_DIR; empty disables the disk tier)")
+	f.NoDisk = fs.Bool("nodisk", false,
+		"disable the persistent cache tier even with -cachedir set (A/B benchmarking; results are identical)")
+	return f
+}
+
+// WithParallel additionally registers -parallel and returns f for
+// chaining.
+func (f *StoreFlags) WithParallel(fs *flag.FlagSet) *StoreFlags {
+	f.Parallel = fs.Int("parallel", 0,
+		"analysis workers (0 = all cores, 1 = serial; results are identical)")
+	return f
+}
+
+// Open builds the store the flags describe: a caching store, optionally
+// disk-backed, or the disabled -nocache arm (which never touches disk —
+// no reuse means no reuse).
+func (f *StoreFlags) Open() (*pipeline.Store, error) {
+	if f.NoCache != nil && *f.NoCache {
+		return pipeline.NewDisabledStore(), nil
+	}
+	store := pipeline.NewStore()
+	if *f.CacheDir != "" && !*f.NoDisk {
+		disk, err := pipeline.OpenDisk(*f.CacheDir, pipeline.DiskOptions{})
+		if err != nil {
+			return nil, err
+		}
+		store.WithDisk(disk)
+	}
+	return store, nil
+}
+
+// Parallelism returns the -parallel value (0 when the flag was not
+// registered).
+func (f *StoreFlags) Parallelism() int {
+	if f.Parallel == nil {
+		return 0
+	}
+	return *f.Parallel
+}
+
+// ServerFlag registers the -server client flag, defaulting to $GPD_ADDR:
+// when non-empty, the CLI submits its work to a running gpd instead of
+// analyzing locally.
+func ServerFlag(fs *flag.FlagSet) *string {
+	return fs.String("server", os.Getenv("GPD_ADDR"),
+		"gpd analysis server address (default $GPD_ADDR; unix:/path.sock or host:port); when set, requests are served by the shared daemon")
+}

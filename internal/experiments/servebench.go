@@ -1,0 +1,424 @@
+package experiments
+
+// The analysis-service benchmark (BENCH_SERVE.json): what N clients gain
+// from one warm shared cache. The cold baseline is the per-process cost —
+// every request analyzed in a fresh store, which is exactly what N
+// independent CLI invocations pay. The served arms run the same requests
+// through one gpd-style server over a unix socket, where the first client
+// to touch an artifact computes it and everyone else hits the warm store.
+// Every response is checked byte-identical (Result.Canon) to the local
+// reference, at every concurrency level; a dedup arm pins the
+// cross-request singleflight (8 concurrent identical submissions, one
+// compute in the server's stats).
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/nofreelunch/gadget-planner/internal/pipeline"
+	"github.com/nofreelunch/gadget-planner/internal/serve"
+)
+
+// serveConcurrencies is the client fan-out sweep.
+var serveConcurrencies = []int{1, 4, 16}
+
+// ServeBenchRequest is one request's cold-vs-warm comparison. ColdLocalMs
+// is the per-process baseline (fresh store, in-process); ColdServedMs and
+// WarmServedMs are the served first and second exposures. Speedup is
+// ColdLocalMs / WarmServedMs — what a client saves once the shared cache
+// is warm.
+type ServeBenchRequest struct {
+	Program      string  `json:"program"`
+	Obf          string  `json:"obf"`
+	ColdLocalMs  float64 `json:"cold_local_ms"`
+	ColdServedMs float64 `json:"cold_served_ms"`
+	WarmServedMs float64 `json:"warm_served_ms"`
+	Speedup      float64 `json:"speedup"`
+	Identical    bool    `json:"identical"`
+}
+
+// ServeBenchConcurrency is one fan-out level: Clients clients each submit
+// the full request set against a fresh server (cold pass — concurrent
+// duplicates dedup onto single computations), then again warm.
+type ServeBenchConcurrency struct {
+	Clients       int     `json:"clients"`
+	Requests      int     `json:"requests"`
+	ColdSeconds   float64 `json:"cold_seconds"`
+	WarmSeconds   float64 `json:"warm_seconds"`
+	ColdReqPerSec float64 `json:"cold_req_per_sec"`
+	WarmReqPerSec float64 `json:"warm_req_per_sec"`
+	DedupJoins    int64   `json:"dedup_joins"`
+	PlanMisses    int64   `json:"plan_misses"`
+	Identical     bool    `json:"identical"`
+}
+
+// ServeBenchDedup is the singleflight arm: Clients concurrent identical
+// submissions of one uncached request. SingleCompute asserts the server
+// computed each stage exactly once (per-stage misses == one request's
+// worth) — the computed-once evidence, with DedupJoins counting the whole
+// requests that collapsed.
+type ServeBenchDedup struct {
+	Clients       int   `json:"clients"`
+	Requests      int64 `json:"requests"`
+	DedupJoins    int64 `json:"dedup_joins"`
+	BuildMisses   int64 `json:"build_misses"`
+	PlanMisses    int64 `json:"plan_misses"`
+	SingleCompute bool  `json:"single_compute"`
+	Identical     bool  `json:"identical"`
+}
+
+// ServeBench is the machine-readable analysis-service benchmark.
+type ServeBench struct {
+	Quick       bool `json:"quick"`
+	Parallelism int  `json:"parallelism"`
+
+	Requests    []ServeBenchRequest     `json:"requests"`
+	Concurrency []ServeBenchConcurrency `json:"concurrency"`
+	Dedup       ServeBenchDedup         `json:"dedup"`
+
+	// MinObfSpeedup is the smallest warm-served speedup over the
+	// obfuscated arms — the acceptance headline (>= 3x).
+	MinObfSpeedup float64 `json:"min_obf_speedup"`
+	// AllIdentical: every served response, at every concurrency, rendered
+	// byte-identically to the local per-process reference.
+	AllIdentical bool `json:"all_identical"`
+}
+
+// serveBenchRequests is the deterministic request set: the first few
+// benchmark programs under the three obfuscation arms, as plan requests
+// with a small node budget (the search exhausts MaxNodes/MaxPlans long
+// before any timeout, so results never depend on wall-clock under load).
+func serveBenchRequests(opts Options) []serve.Request {
+	n := 3
+	if opts.Quick {
+		n = 2
+	}
+	progs := opts.Programs
+	if len(progs) > n {
+		progs = progs[:n]
+	}
+	specs := []struct{ name, spec string }{
+		{"original", ""}, {"llvm-obf", "llvm"}, {"tigress", "tigress"},
+	}
+	var reqs []serve.Request
+	for _, p := range progs {
+		for _, s := range specs {
+			reqs = append(reqs, serve.Request{
+				Op:       serve.OpPlan,
+				Program:  p.Name,
+				Obf:      s.spec,
+				Seed:     opts.Seed,
+				Goal:     "execve",
+				MaxPlans: 2,
+				MaxNodes: 800,
+			})
+		}
+	}
+	return reqs
+}
+
+// benchServer is an in-process gpd: the real serve.Server behind the real
+// HTTP stack on a real unix socket — only the exec is missing.
+type benchServer struct {
+	store  *pipeline.Store
+	srv    *serve.Server
+	hsrv   *http.Server
+	client *serve.Client
+}
+
+func startBenchServer(dir, name string, par int) (*benchServer, error) {
+	store := pipeline.NewStore().WithGate(pipeline.NewGate(par, nil))
+	srv := serve.NewServer(store, par)
+	hsrv := &http.Server{Handler: srv.Handler()}
+	sock := filepath.Join(dir, name+".sock")
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		return nil, err
+	}
+	go hsrv.Serve(l)
+	client, err := serve.Dial("unix:" + sock)
+	if err != nil {
+		hsrv.Close()
+		return nil, err
+	}
+	if err := client.WaitReady(context.Background(), 5*time.Second); err != nil {
+		hsrv.Close()
+		return nil, err
+	}
+	return &benchServer{store: store, srv: srv, hsrv: hsrv, client: client}, nil
+}
+
+func (b *benchServer) Close() { b.hsrv.Close() }
+
+// serveFanout submits the request set from `clients` concurrent clients
+// (each submits every request) and reports the wall time and whether every
+// response matched its reference rendering.
+func serveFanout(client *serve.Client, reqs []serve.Request, clients int, ref []string) (float64, bool, error) {
+	ctx := context.Background()
+	start := time.Now()
+	identical := true
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, r := range reqs {
+				res, err := client.Run(ctx, r, nil)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if res.Canon() != ref[i] {
+					mu.Lock()
+					identical = false
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		return 0, false, err
+	}
+	return time.Since(start).Seconds(), identical, nil
+}
+
+// stageMisses pulls one stage's miss counter out of a stats snapshot.
+func stageMisses(st *serve.Stats, stage string) int64 {
+	for _, s := range st.Stages {
+		if s.Stage == stage {
+			return s.Misses
+		}
+	}
+	return 0
+}
+
+// BenchServe measures the analysis service: per-request cold-vs-warm
+// latency, cold and warm throughput at client concurrency 1/4/16, and the
+// cross-request singleflight, all pinned byte-identical to local
+// per-process runs.
+func BenchServe(opts Options) (*ServeBench, error) {
+	opts = opts.withDefaults()
+	reqs := serveBenchRequests(opts)
+	par := opts.Parallelism
+	ctx := context.Background()
+
+	res := &ServeBench{Quick: opts.Quick, Parallelism: par, AllIdentical: true}
+
+	// Local per-process baseline: every request against its own fresh
+	// store. The canonical renderings become the identity reference for
+	// every served response below.
+	ref := make([]string, len(reqs))
+	rows := make([]ServeBenchRequest, len(reqs))
+	for i, r := range reqs {
+		start := time.Now()
+		out, err := serve.Run(ctx, pipeline.NewStore(), par, r, nil)
+		if err != nil {
+			return nil, err
+		}
+		ref[i] = out.Canon()
+		rows[i] = ServeBenchRequest{
+			Program:     r.Program,
+			Obf:         obfLabel(r.Obf),
+			ColdLocalMs: float64(time.Since(start).Microseconds()) / 1000,
+		}
+	}
+
+	dir, err := os.MkdirTemp("", "gp-servebench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Per-request served passes: one client, fresh server; first exposure
+	// is the served-cold cost, second the served-warm cost.
+	single, err := startBenchServer(dir, "single", par)
+	if err != nil {
+		return nil, err
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i, r := range reqs {
+			start := time.Now()
+			out, err := single.client.Run(ctx, r, nil)
+			if err != nil {
+				single.Close()
+				return nil, err
+			}
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			ident := out.Canon() == ref[i]
+			if pass == 0 {
+				rows[i].ColdServedMs = ms
+				rows[i].Identical = ident
+			} else {
+				rows[i].WarmServedMs = ms
+				rows[i].Speedup = speedup(rows[i].ColdLocalMs, ms)
+				rows[i].Identical = rows[i].Identical && ident
+			}
+			if !ident {
+				res.AllIdentical = false
+			}
+		}
+	}
+	single.Close()
+	res.Requests = rows
+	res.MinObfSpeedup = minObfSpeedup(rows)
+
+	// Fan-out sweep: a fresh server per level; every client submits the
+	// full set, so the cold pass overlaps duplicate submissions (they
+	// dedup) and the warm pass is pure hit traffic.
+	for _, clients := range serveConcurrencies {
+		bs, err := startBenchServer(dir, fmt.Sprintf("c%d", clients), par)
+		if err != nil {
+			return nil, err
+		}
+		coldSecs, coldIdent, err := serveFanout(bs.client, reqs, clients, ref)
+		if err != nil {
+			bs.Close()
+			return nil, err
+		}
+		warmSecs, warmIdent, err := serveFanout(bs.client, reqs, clients, ref)
+		if err != nil {
+			bs.Close()
+			return nil, err
+		}
+		st, err := bs.client.Stats(ctx)
+		bs.Close()
+		if err != nil {
+			return nil, err
+		}
+		total := clients * len(reqs)
+		row := ServeBenchConcurrency{
+			Clients:     clients,
+			Requests:    total,
+			ColdSeconds: coldSecs,
+			WarmSeconds: warmSecs,
+			DedupJoins:  st.DedupJoins,
+			PlanMisses:  stageMisses(st, "plan"),
+			Identical:   coldIdent && warmIdent,
+		}
+		if coldSecs > 0 {
+			row.ColdReqPerSec = float64(total) / coldSecs
+		}
+		if warmSecs > 0 {
+			row.WarmReqPerSec = float64(total) / warmSecs
+		}
+		if !row.Identical {
+			res.AllIdentical = false
+		}
+		res.Concurrency = append(res.Concurrency, row)
+	}
+
+	// Dedup arm: 8 clients race the same uncached request (the last one —
+	// a Tigress build, the slowest, so joiners reliably arrive while the
+	// winner computes). One whole-request execution must serve all 8.
+	dedup, err := startBenchServer(dir, "dedup", par)
+	if err != nil {
+		return nil, err
+	}
+	const dedupClients = 8
+	target := reqs[len(reqs)-1]
+	tref := ref[len(reqs)-1]
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	dedupIdent := true
+	errc := make(chan error, dedupClients)
+	for c := 0; c < dedupClients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := dedup.client.Run(ctx, target, nil)
+			if err != nil {
+				errc <- err
+				return
+			}
+			if out.Canon() != tref {
+				mu.Lock()
+				dedupIdent = false
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		dedup.Close()
+		return nil, err
+	}
+	st, err := dedup.client.Stats(ctx)
+	dedup.Close()
+	if err != nil {
+		return nil, err
+	}
+	res.Dedup = ServeBenchDedup{
+		Clients:     dedupClients,
+		Requests:    st.Requests,
+		DedupJoins:  st.DedupJoins,
+		BuildMisses: stageMisses(st, "build"),
+		PlanMisses:  stageMisses(st, "plan"),
+		Identical:   dedupIdent,
+	}
+	// Computed once: one build and one plan miss across 8 submissions.
+	// (DedupJoins is reported but not asserted — a client that arrives
+	// after the winner finishes is served by the store, not the call.)
+	res.Dedup.SingleCompute = res.Dedup.BuildMisses == 1 && res.Dedup.PlanMisses == 1
+	if !dedupIdent {
+		res.AllIdentical = false
+	}
+	return res, nil
+}
+
+func obfLabel(spec string) string {
+	if spec == "" {
+		return "original"
+	}
+	return spec
+}
+
+// minObfSpeedup is the smallest warm speedup among obfuscated requests.
+func minObfSpeedup(rows []ServeBenchRequest) float64 {
+	min := 0.0
+	for _, r := range rows {
+		if r.Obf == "original" {
+			continue
+		}
+		if min == 0 || r.Speedup < min {
+			min = r.Speedup
+		}
+	}
+	return min
+}
+
+// RenderServeBench prints the benchmark as tables.
+func RenderServeBench(b *ServeBench) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "serve bench: %d requests, parallelism %d\n", len(b.Requests), b.Parallelism)
+	fmt.Fprintf(&sb, "%-12s %-10s %12s %12s %12s %9s %6s\n",
+		"Program", "Obf", "ColdLocal", "ColdServed", "WarmServed", "Speedup", "Ident")
+	for _, r := range b.Requests {
+		fmt.Fprintf(&sb, "%-12s %-10s %10.1fms %10.1fms %10.1fms %8.1fx %6v\n",
+			r.Program, r.Obf, r.ColdLocalMs, r.ColdServedMs, r.WarmServedMs, r.Speedup, r.Identical)
+	}
+	fmt.Fprintf(&sb, "min obfuscated speedup: %.1fx\n", b.MinObfSpeedup)
+	fmt.Fprintf(&sb, "%-8s %9s %9s %9s %12s %12s %7s %6s\n",
+		"Clients", "Requests", "Cold(s)", "Warm(s)", "Cold req/s", "Warm req/s", "Joins", "Ident")
+	for _, c := range b.Concurrency {
+		fmt.Fprintf(&sb, "%-8d %9d %9.2f %9.2f %12.1f %12.1f %7d %6v\n",
+			c.Clients, c.Requests, c.ColdSeconds, c.WarmSeconds,
+			c.ColdReqPerSec, c.WarmReqPerSec, c.DedupJoins, c.Identical)
+	}
+	d := b.Dedup
+	fmt.Fprintf(&sb, "dedup: %d identical submissions -> %d joins, build misses %d, plan misses %d, single-compute %v, identical %v\n",
+		d.Clients, d.DedupJoins, d.BuildMisses, d.PlanMisses, d.SingleCompute, d.Identical)
+	fmt.Fprintf(&sb, "all responses identical to local runs: %v\n", b.AllIdentical)
+	return sb.String()
+}

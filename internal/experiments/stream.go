@@ -22,6 +22,7 @@ package experiments
 //     byte-identical at any worker count and with the store on or off.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -59,6 +60,12 @@ func cellsPerProgram() int { return len(Configs()) * len(streamArms) }
 
 // StreamOptions scope one streaming corpus run.
 type StreamOptions struct {
+	// Ctx cancels the run: the generator stops producing, workers stop
+	// picking up cells, and RunStream returns the context's error. A cell
+	// already inside a pipeline stage runs that stage to completion
+	// (artifacts are shared and never cached half-finished; see
+	// pipeline.DoCtx), so cancellation is stage-granular, not instant.
+	Ctx context.Context
 	// Cells is the target cell count; it is rounded up to whole programs
 	// (each generated program spans len(Configs())*2 cells). Default 216,
 	// or 24 with Quick.
@@ -85,6 +92,9 @@ type StreamOptions struct {
 }
 
 func (o StreamOptions) withDefaults() StreamOptions {
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
+	}
 	if o.Cells <= 0 {
 		if o.Quick {
 			o.Cells = 24
@@ -206,7 +216,11 @@ func RunStream(opts StreamOptions) (*StreamRun, error) {
 			stop()
 			for cfg := range Configs() {
 				for _, arm := range streamArms {
-					specs <- cellSpec{idx: idx, prog: p, class: class.Name, cfg: cfg, arm: arm}
+					select {
+					case specs <- cellSpec{idx: idx, prog: p, class: class.Name, cfg: cfg, arm: arm}:
+					case <-opts.Ctx.Done():
+						return
+					}
 					idx++
 				}
 			}
@@ -221,6 +235,10 @@ func RunStream(opts StreamOptions) (*StreamRun, error) {
 		go func() {
 			defer wg.Done()
 			for spec := range specs {
+				if err := opts.Ctx.Err(); err != nil {
+					results <- streamResult{idx: spec.idx, err: err}
+					continue
+				}
 				row, err := runStreamCell(opts, spec)
 				results <- streamResult{idx: spec.idx, row: row, err: err}
 			}
@@ -307,6 +325,11 @@ func RunStream(opts StreamOptions) (*StreamRun, error) {
 			return nil, err
 		}
 	}
+	// A canceled run that raced to completion anyway still reports the
+	// cancellation — callers asked for it.
+	if err := opts.Ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	res.Seconds = time.Since(start).Seconds()
 	if res.Seconds > 0 {
@@ -333,7 +356,7 @@ func runStreamCell(opts StreamOptions, spec cellSpec) (StreamRow, error) {
 		Obf:     cfg.Name,
 		Arm:     spec.arm,
 	}
-	bin, err := pipeline.Build(opts.Store, spec.prog, cfg.Passes(), opts.Seed)
+	bin, _, err := pipeline.BuildCtx(opts.Ctx, opts.Store, spec.prog, cfg.Passes(), opts.Seed)
 	if err != nil {
 		return row, fmt.Errorf("experiments: stream build %s|%s: %w", spec.prog.Name, cfg.Name, err)
 	}
@@ -370,7 +393,7 @@ const streamMaxSteps = 80_000_000
 // cells); the two emulator replays are the per-cell ground-truth check.
 func streamOutputStable(opts StreamOptions, p benchprog.Program, bin *sbf.Binary) (bool, error) {
 	defer pipeline.TrackWall("emu-replay")()
-	plain, err := pipeline.Build(opts.Store, p, nil, opts.Seed)
+	plain, _, err := pipeline.BuildCtx(opts.Ctx, opts.Store, p, nil, opts.Seed)
 	if err != nil {
 		return false, fmt.Errorf("experiments: stream plain build %s: %w", p.Name, err)
 	}

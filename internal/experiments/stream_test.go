@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"testing"
 	"time"
 
@@ -126,6 +128,41 @@ func TestStreamRowsOrdered(t *testing.T) {
 	if run.RowsWritten != n {
 		t.Errorf("RowsWritten = %d, want %d", run.RowsWritten, n)
 	}
+}
+
+// TestStreamCancel pins the cancellation contract: a canceled context
+// stops the run promptly and surfaces context.Canceled, and a context
+// canceled mid-run (after the first result) still terminates cleanly.
+func TestStreamCancel(t *testing.T) {
+	// Already-canceled context: no cell should complete.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := streamTestOpts()
+	opts.Ctx = ctx
+	opts.Parallelism = 2
+	if _, err := RunStream(opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled run returned %v, want context.Canceled", err)
+	}
+
+	// Cancel after the first rows flow: the runner must stop and report it.
+	ctx, cancel = context.WithCancel(context.Background())
+	opts = streamTestOpts()
+	opts.Cells = 8 * cellsPerProgram()
+	opts.Ctx = ctx
+	opts.Parallelism = 2
+	opts.Rows = cancelAfterWriter{cancel: cancel}
+	if _, err := RunStream(opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel returned %v, want context.Canceled", err)
+	}
+}
+
+// cancelAfterWriter cancels its context on the first JSONL row, from the
+// collector goroutine — a mid-run cancellation at a deterministic point.
+type cancelAfterWriter struct{ cancel context.CancelFunc }
+
+func (w cancelAfterWriter) Write(p []byte) (int, error) {
+	w.cancel()
+	return len(p), nil
 }
 
 // TestBenchStreamQuick runs the full benchmark harness on a small corpus

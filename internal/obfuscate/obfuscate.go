@@ -15,6 +15,7 @@ package obfuscate
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"github.com/nofreelunch/gadget-planner/internal/mir"
 )
@@ -83,6 +84,29 @@ func ByName(name string) (Pass, error) {
 
 // AllPassNames lists the individual pass names (Fig. 5's x-axis).
 func AllPassNames() []string { return []string{"sub", "bcf", "fla", "enc", "virt"} }
+
+// ParseSpec resolves an obfuscation spec as the CLIs and the analysis
+// service accept it: empty (no obfuscation), the "llvm" or "tigress"
+// presets, or a comma-separated pass list ("sub,bcf,fla,enc,virt").
+func ParseSpec(spec string) ([]Pass, error) {
+	switch spec {
+	case "":
+		return nil, nil
+	case "llvm":
+		return LLVMObf(), nil
+	case "tigress":
+		return Tigress(), nil
+	}
+	var out []Pass
+	for _, name := range strings.Split(spec, ",") {
+		p, err := ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
 
 // junkGlobal ensures a scratch global for opaque predicates and junk code,
 // returning its name.

@@ -1,0 +1,106 @@
+package pipeline
+
+import (
+	"sync/atomic"
+)
+
+// Gate bounds how many stage computations may run concurrently, per stage.
+// It is the analysis service's backpressure mechanism: a store with an
+// attached gate (Store.WithGate) admits at most `limit` simultaneous
+// computations into each stage — build, extract, minimize, plan — and
+// queues the rest, so a burst of client requests degrades into a bounded
+// queue instead of an unbounded goroutine pile-up, and tail latency stays
+// flat under load.
+//
+// The gate bounds *computations*, not requests: store hits (memory or disk
+// metadata already decoded) never wait, and the singleflight layer still
+// collapses concurrent identical requests to one slot. Queue waits are
+// deliberately not cancelable — once a request is the designated computer
+// of a shared artifact, other waiters may be depending on it, so it runs
+// to completion (cancellation is checked between stages instead; see
+// DoCtx).
+type Gate struct {
+	slots    [numStages]chan struct{}
+	limits   [numStages]int
+	queued   [numStages]atomic.Int64
+	inflight [numStages]atomic.Int64
+	admitted [numStages]atomic.Int64
+}
+
+// NewGate returns a gate admitting up to limit concurrent computations per
+// stage. Overrides adjusts individual stages; a limit <= 0 (default or
+// override) leaves that stage unbounded.
+func NewGate(limit int, overrides map[Stage]int) *Gate {
+	g := &Gate{}
+	for st := Stage(0); st < numStages; st++ {
+		l := limit
+		if o, ok := overrides[st]; ok {
+			l = o
+		}
+		if l > 0 {
+			g.limits[st] = l
+			g.slots[st] = make(chan struct{}, l)
+		}
+	}
+	return g
+}
+
+// enter blocks until a compute slot for the stage is free. Nil-safe: a nil
+// gate (no gate attached) admits everything immediately.
+func (g *Gate) enter(st Stage) {
+	if g == nil || g.slots[st] == nil {
+		return
+	}
+	select {
+	case g.slots[st] <- struct{}{}:
+	default:
+		g.queued[st].Add(1)
+		g.slots[st] <- struct{}{}
+		g.queued[st].Add(-1)
+	}
+	g.inflight[st].Add(1)
+	g.admitted[st].Add(1)
+}
+
+// exit releases the stage slot taken by enter. Nil-safe.
+func (g *Gate) exit(st Stage) {
+	if g == nil || g.slots[st] == nil {
+		return
+	}
+	g.inflight[st].Add(-1)
+	<-g.slots[st]
+}
+
+// GateStats snapshots one stage's pool: its slot limit, how many
+// computations hold slots right now, how many are queued waiting, and how
+// many have been admitted in total. The serve /stats endpoint reports
+// these per stage.
+type GateStats struct {
+	Stage    string `json:"stage"`
+	Limit    int    `json:"limit"`
+	InFlight int64  `json:"inflight"`
+	Queued   int64  `json:"queued"`
+	Admitted int64  `json:"admitted"`
+}
+
+// Stats snapshots every bounded stage, in chain order. Nil-safe (a nil
+// gate reports nothing).
+func (g *Gate) Stats() []GateStats {
+	if g == nil {
+		return nil
+	}
+	var out []GateStats
+	for st := Stage(0); st < numStages; st++ {
+		if g.slots[st] == nil {
+			continue
+		}
+		out = append(out, GateStats{
+			Stage:    st.String(),
+			Limit:    g.limits[st],
+			InFlight: g.inflight[st].Load(),
+			Queued:   g.queued[st].Load(),
+			Admitted: g.admitted[st].Load(),
+		})
+	}
+	return out
+}

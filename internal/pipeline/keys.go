@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -96,6 +97,14 @@ func PlanKey(poolKey, goalName string, o planner.Options, payloadBase, verifySte
 
 // Build compiles (source, passes, seed) through the store.
 func Build(s *Store, p benchprog.Program, passes []obfuscate.Pass, seed int64) (*sbf.Binary, error) {
+	bin, _, err := BuildCtx(context.Background(), s, p, passes, seed)
+	return bin, err
+}
+
+// BuildCtx is Build with a cancellation boundary and the store's request
+// outcome — the analysis service uses the Info to report per-stage
+// progress and cached markers to clients.
+func BuildCtx(ctx context.Context, s *Store, p benchprog.Program, passes []obfuscate.Pass, seed int64) (*sbf.Binary, Info, error) {
 	key := ""
 	if s != nil {
 		names := make([]string, len(passes))
@@ -104,36 +113,47 @@ func Build(s *Store, p benchprog.Program, passes []obfuscate.Pass, seed int64) (
 		}
 		key = BuildKey(p.Source, names, seed)
 	}
-	bin, _, err := Do(s, StageBuild, key, func() (*sbf.Binary, error) {
+	return DoCtx(ctx, s, StageBuild, key, func() (*sbf.Binary, error) {
 		return benchprog.Build(p, passes, seed)
 	})
-	return bin, err
 }
 
 // SelfModify applies the post-link self-modification transform through the
 // store.
 func SelfModify(s *Store, bin *sbf.Binary, key byte) (*sbf.Binary, error) {
+	out, _, err := SelfModifyCtx(context.Background(), s, bin, key)
+	return out, err
+}
+
+// SelfModifyCtx is SelfModify with a cancellation boundary and the store's
+// request outcome.
+func SelfModifyCtx(ctx context.Context, s *Store, bin *sbf.Binary, key byte) (*sbf.Binary, Info, error) {
 	k := ""
 	if s != nil {
 		k = EncodeKey(s.BinaryKey(bin), key)
 	}
-	out, _, err := Do(s, StageEncode, k, func() (*sbf.Binary, error) {
+	return DoCtx(ctx, s, StageEncode, k, func() (*sbf.Binary, error) {
 		return obfuscate.SelfModifyBinary(bin, key)
 	})
-	return out, err
 }
 
 // Count runs the classic gadget scan through the store. The returned map is
 // a shared artifact: read-only by contract.
 func Count(s *Store, bin *sbf.Binary, maxInsts int) map[gadget.JmpType]int {
+	m, _, _ := CountCtx(context.Background(), s, bin, maxInsts)
+	return m
+}
+
+// CountCtx is Count with a cancellation boundary and the store's request
+// outcome.
+func CountCtx(ctx context.Context, s *Store, bin *sbf.Binary, maxInsts int) (map[gadget.JmpType]int, Info, error) {
 	k := ""
 	if s != nil {
 		k = CountKey(s.BinaryKey(bin), maxInsts)
 	}
-	m, _, _ := Do(s, StageCount, k, func() (map[gadget.JmpType]int, error) {
+	return DoCtx(ctx, s, StageCount, k, func() (map[gadget.JmpType]int, error) {
 		return gadget.Count(bin, maxInsts), nil
 	})
-	return m
 }
 
 // Extract runs the extraction stage through the store. The returned pool is

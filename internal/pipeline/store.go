@@ -20,6 +20,7 @@ package pipeline
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -70,6 +71,7 @@ func (st Stage) String() string {
 type Store struct {
 	caching  bool
 	disk     *Disk
+	gate     *Gate
 	mu       sync.Mutex
 	entries  map[string]*entry
 	binKeys  sync.Map // *sbf.Binary -> string, memoized content hashes
@@ -196,6 +198,25 @@ func (s *Store) WithDisk(d *Disk) *Store {
 	return s
 }
 
+// WithGate attaches a per-stage compute gate (see Gate) and returns s for
+// chaining. Unlike WithDisk it applies to disabled stores too: the -nocache
+// A/B arm recomputes everything, but a server still needs its stage pools
+// bounded. Nil-safe.
+func (s *Store) WithGate(g *Gate) *Store {
+	if s != nil {
+		s.gate = g
+	}
+	return s
+}
+
+// Gate returns the attached compute gate, or nil. Nil-safe.
+func (s *Store) Gate() *Gate {
+	if s == nil {
+		return nil
+	}
+	return s.gate
+}
+
 // Disk returns the attached persistent tier, or nil. Nil-safe.
 func (s *Store) Disk() *Disk {
 	if s == nil {
@@ -238,8 +259,31 @@ func measured[T any](f func() (T, error)) (T, time.Duration, uint64, error) {
 // e.g. a closure-valued GadgetFilter. Errors are artifacts too: a failed
 // computation is cached and returned to every requester of the key.
 func Do[T any](s *Store, st Stage, key string, compute func() (T, error)) (T, Info, error) {
+	return DoCtx(context.Background(), s, st, key, compute)
+}
+
+// DoCtx is Do with a cancellation boundary: a context canceled before the
+// stage is entered returns ctx.Err() without computing or caching
+// anything, so a dropped client or a shutting-down server skips every
+// stage it has not yet started. Cancellation is deliberately
+// stage-granular — once a computation is admitted it runs to completion,
+// because its artifact is shared: the singleflight layer may have
+// concurrent waiters for the same key, and a half-finished (or
+// context-poisoned) artifact must never be cached. Context errors are
+// therefore never stored as error artifacts.
+func DoCtx[T any](ctx context.Context, s *Store, st Stage, key string, compute func() (T, error)) (T, Info, error) {
+	if err := ctx.Err(); err != nil {
+		var zero T
+		return zero, Info{}, err
+	}
 	if s == nil || !s.caching || key == "" {
+		var gate *Gate
+		if s != nil {
+			gate = s.gate
+		}
+		gate.enter(st)
 		v, d, alloc, err := measured(compute)
+		gate.exit(st)
 		if s != nil && key != "" {
 			c := &s.counters[st]
 			c.misses.Add(1)
@@ -268,6 +312,10 @@ func Do[T any](s *Store, st Stage, key string, compute func() (T, error)) (T, In
 	)
 	served := servedMemory
 	e.once.Do(func() {
+		// The winner holds a stage slot for the whole disk-probe + compute
+		// sequence; waiters for this key block in once.Do, not in the gate.
+		s.gate.enter(st)
+		defer s.gate.exit(st)
 		c := &s.counters[st]
 		if s.disk != nil {
 			if payload, meta, ok := s.disk.get(st, key); ok {
