@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test vet fmt race bench bench-solver bench-planner bench-cache bench-disk bench-stream bench-stream-quick bench-serve bench-serve-quick check
+.PHONY: build test vet fmt race bench bench-solver bench-planner bench-cache bench-disk bench-stream bench-stream-quick bench-serve bench-serve-quick bench-extract bench-extract-quick check
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,16 @@ bench-serve:
 bench-serve-quick:
 	$(GO) run ./cmd/experiments -run servebench -quick
 
+# Cold-extraction benchmark: gadget extraction with the shared predecode
+# table on vs off (the seed's decode-per-step walk) on obfuscated and
+# virtualized netperf-sim builds; writes BENCH_EXTRACT.json and cross-checks
+# pool identity across table on/off x parallelism 1/2/8 x stride 1/2.
+bench-extract:
+	$(GO) run ./cmd/experiments -run extractbench
+
+bench-extract-quick:
+	$(GO) run ./cmd/experiments -run extractbench -quick
+
 # CI gate: formatting, static checks, the full test suite under the race
 # detector, and the benchmarks' built-in determinism/identity cross-checks.
-check: fmt vet race bench-planner bench-cache bench-disk bench-stream-quick bench-serve-quick
+check: fmt vet race bench-planner bench-cache bench-disk bench-stream-quick bench-serve-quick bench-extract-quick

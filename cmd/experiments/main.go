@@ -10,7 +10,8 @@
 // BENCH_PIPELINE.json), solverbench (writes BENCH_SOLVER.json),
 // plannerbench (writes BENCH_PLANNER.json), cachebench (writes
 // BENCH_CACHE.json), diskbench (writes BENCH_DISK.json), servebench (the
-// analysis-service benchmark; writes BENCH_SERVE.json), stream (the
+// analysis-service benchmark; writes BENCH_SERVE.json), extractbench (the
+// cold-extraction benchmark; writes BENCH_EXTRACT.json), stream (the
 // generated-corpus scale-out benchmark; writes BENCH_STREAM.json and a
 // per-cell BENCH_STREAM.jsonl; also reachable as the -stream shorthand,
 // with -cells sizing the corpus and -cachesize starving the eviction arm).
@@ -29,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -62,7 +64,21 @@ func run() error {
 	cacheSize := flag.Int64("cachesize", 0, "stream: eviction-arm disk budget in bytes (0 = 256 KiB)")
 	streamJSON := flag.String("streamjson", "BENCH_STREAM.json", "output path for the streaming corpus benchmark")
 	streamJSONL := flag.String("streamjsonl", "BENCH_STREAM.jsonl", "output path for the streaming per-cell rows")
+	extractJSON := flag.String("extractjson", "BENCH_EXTRACT.json", "output path for the cold-extraction benchmark")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file (go tool pprof)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	store, err := sf.Open()
 	if err != nil {
@@ -272,6 +288,22 @@ func run() error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *serveJSON)
+	}
+	if want("extractbench") {
+		res, err := experiments.BenchExtract(opts)
+		if err != nil {
+			return err
+		}
+		section("Extraction benchmark — cold path, predecode table on vs off")
+		fmt.Print(experiments.RenderExtractBench(res))
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*extractJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *extractJSON)
 	}
 	if selected["stream"] {
 		rowsFile, err := os.Create(*streamJSONL)

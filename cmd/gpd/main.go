@@ -8,6 +8,7 @@
 // Usage:
 //
 //	gpd -socket /tmp/gpd.sock [-listen :7209] [-cachedir DIR] [-parallel N]
+//	    [-pprof localhost:6060]
 //
 // Clients: gp -server unix:/tmp/gpd.sock ..., gadgetcount -server ...,
 // or any HTTP client POSTing JSON to /run (the response is a JSONL stream
@@ -25,6 +26,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the -pprof listener's DefaultServeMux
 	"os"
 	"os/signal"
 	"runtime"
@@ -49,8 +51,21 @@ func run() error {
 	pool := flag.Int("pool", 0, "per-stage compute slots (0 = same as -parallel)")
 	memLimit := flag.Int("memlimit", 0, "memory-tier entry limit, LRU-evicted (0 = unbounded)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain window after SIGTERM before in-flight work is canceled")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	sf := cliutil.RegisterStore(flag.CommandLine).WithParallel(flag.CommandLine)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The service mux is private (serve.Server.Handler); profiling gets
+		// its own listener on the DefaultServeMux that net/http/pprof
+		// registered on, so /debug/pprof never shares a port with clients.
+		go func() {
+			log.Printf("gpd: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("gpd: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	if *listen == "" && *socket == "" {
 		return fmt.Errorf("need -listen and/or -socket")

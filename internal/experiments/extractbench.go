@@ -1,0 +1,175 @@
+package experiments
+
+// BenchExtract is the cold-path extraction benchmark behind
+// `make bench-extract`: it times gadget extraction with the shared predecode
+// table against the seed's decode-per-step walk (Options.NoPredecode), on
+// the obfuscated netperf-sim and on a virtualized build — the arm whose long
+// handler-threaded decode paths the table helps most — and pins the two
+// walks byte-identical across the determinism matrix. BENCH_EXTRACT.json is
+// its JSON rendering.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/nofreelunch/gadget-planner/internal/benchprog"
+	"github.com/nofreelunch/gadget-planner/internal/gadget"
+	"github.com/nofreelunch/gadget-planner/internal/obfuscate"
+	"github.com/nofreelunch/gadget-planner/internal/sbf"
+)
+
+// ExtractArm is one program's timing record.
+type ExtractArm struct {
+	Name      string `json:"name"`
+	Passes    string `json:"passes"`
+	CodeBytes int    `json:"code_bytes"`
+	Gadgets   int    `json:"gadgets"`
+
+	// Best-of-reps extraction wall time, decode table off (the seed walk)
+	// vs on, single-worker and four-worker.
+	TableOffP1Seconds float64 `json:"table_off_p1_seconds"`
+	TableOnP1Seconds  float64 `json:"table_on_p1_seconds"`
+	TableOffP4Seconds float64 `json:"table_off_p4_seconds"`
+	TableOnP4Seconds  float64 `json:"table_on_p4_seconds"`
+
+	// SpeedupP1 is the headline number: table-off over table-on at one
+	// worker, where nothing but the decode strategy differs.
+	SpeedupP1 float64 `json:"speedup_p1"`
+	SpeedupP4 float64 `json:"speedup_p4"`
+}
+
+// ExtractBench is the full benchmark record (BENCH_EXTRACT.json).
+type ExtractBench struct {
+	Quick bool  `json:"quick"`
+	Seed  int64 `json:"seed"`
+	Reps  int   `json:"reps"`
+
+	Arms []ExtractArm `json:"arms"`
+
+	// Determinism: pools from the table walk and the reference walk must
+	// render byte-identically (gadget.Pool.Canon) at every combination of
+	// the arms below.
+	ParallelismArms []int `json:"parallelism_arms"`
+	StrideArms      []int `json:"stride_arms"`
+	TablesIdentical bool  `json:"tables_identical"`
+}
+
+// extractBenchParallelisms and extractBenchStrides are the identity-matrix
+// axes the acceptance criterion names.
+var (
+	extractBenchParallelisms = []int{1, 2, 8}
+	extractBenchStrides      = []int{1, 2}
+)
+
+// BenchExtract runs the timing arms and the identity matrix.
+func BenchExtract(opts Options) (*ExtractBench, error) {
+	reps := 5
+	if opts.Quick {
+		reps = 1
+	}
+	b := &ExtractBench{
+		Quick:           opts.Quick,
+		Seed:            opts.Seed,
+		Reps:            reps,
+		ParallelismArms: append([]int(nil), extractBenchParallelisms...),
+		StrideArms:      append([]int(nil), extractBenchStrides...),
+		TablesIdentical: true,
+	}
+
+	arms := []struct {
+		name   string
+		passes []obfuscate.Pass
+	}{
+		{"netperf-llvmobf", obfuscate.LLVMObf()},
+		{"netperf-virtualize", []obfuscate.Pass{&obfuscate.Virtualize{}}},
+	}
+	for _, a := range arms {
+		bin, err := benchprog.Build(benchprog.Netperf(), a.passes, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		arm := ExtractArm{Name: a.name, Passes: passNames(a.passes), CodeBytes: codeBytes(bin)}
+
+		extract := func(par int, noTable bool) *gadget.Pool {
+			return gadget.Extract(bin, gadget.Options{Parallelism: par, NoPredecode: noTable})
+		}
+		timeExtract := func(par int, noTable bool) float64 {
+			best := time.Duration(1<<63 - 1)
+			for i := 0; i < reps; i++ {
+				start := time.Now()
+				extract(par, noTable)
+				if d := time.Since(start); d < best {
+					best = d
+				}
+			}
+			return best.Seconds()
+		}
+		arm.TableOffP1Seconds = timeExtract(1, true)
+		arm.TableOnP1Seconds = timeExtract(1, false)
+		arm.TableOffP4Seconds = timeExtract(4, true)
+		arm.TableOnP4Seconds = timeExtract(4, false)
+		arm.SpeedupP1 = speedup(arm.TableOffP1Seconds, arm.TableOnP1Seconds)
+		arm.SpeedupP4 = speedup(arm.TableOffP4Seconds, arm.TableOnP4Seconds)
+		arm.Gadgets = extract(1, false).Size()
+		b.Arms = append(b.Arms, arm)
+
+		// Identity matrix: for each stride, the single-worker reference walk
+		// fixes the expected rendering; the table walk and the reference
+		// walk must match it at every worker count.
+		for _, stride := range extractBenchStrides {
+			ref := gadget.Extract(bin, gadget.Options{
+				Stride: stride, Parallelism: 1, NoPredecode: true,
+			}).Canon()
+			for _, par := range extractBenchParallelisms {
+				for _, noTable := range []bool{false, true} {
+					got := gadget.Extract(bin, gadget.Options{
+						Stride: stride, Parallelism: par, NoPredecode: noTable,
+					}).Canon()
+					if got != ref {
+						b.TablesIdentical = false
+					}
+				}
+			}
+		}
+	}
+	return b, nil
+}
+
+// passNames joins an obfuscation recipe's pass names.
+func passNames(passes []obfuscate.Pass) string {
+	names := make([]string, len(passes))
+	for i, p := range passes {
+		names[i] = p.Name()
+	}
+	return strings.Join(names, ",")
+}
+
+// codeBytes sums the executable sections' sizes.
+func codeBytes(bin *sbf.Binary) int {
+	n := 0
+	for _, sec := range bin.ExecSections() {
+		n += len(sec.Data)
+	}
+	return n
+}
+
+// RenderExtractBench prints the benchmark summary.
+func RenderExtractBench(b *ExtractBench) string {
+	var sb strings.Builder
+	mode := "full"
+	if b.Quick {
+		mode = "quick"
+	}
+	fmt.Fprintf(&sb, "cold extraction (%s, best of %d, seed %d):\n", mode, b.Reps, b.Seed)
+	for _, a := range b.Arms {
+		fmt.Fprintf(&sb, "  %s (%s; %d code bytes, %d gadgets)\n", a.Name, a.Passes, a.CodeBytes, a.Gadgets)
+		fmt.Fprintf(&sb, "    P=1: decode-per-step %s -> predecode table %s   speedup %.2fx\n",
+			fmtDur(a.TableOffP1Seconds), fmtDur(a.TableOnP1Seconds), a.SpeedupP1)
+		fmt.Fprintf(&sb, "    P=4: decode-per-step %s -> predecode table %s   speedup %.2fx\n",
+			fmtDur(a.TableOffP4Seconds), fmtDur(a.TableOnP4Seconds), a.SpeedupP4)
+	}
+	fmt.Fprintf(&sb, "  pools identical across table on/off x parallelism %v x stride %v: %t\n",
+		b.ParallelismArms, b.StrideArms, b.TablesIdentical)
+	return sb.String()
+}

@@ -87,15 +87,35 @@ type nodeKey struct {
 	a0, a1, a2 uint32
 }
 
+// constKey keys the constant fast path: constants are by far the most
+// interned kind (every operand mask, immediate, and rip value is one), and
+// hashing this 16-byte struct is much cheaper than hashing a full nodeKey
+// with its embedded string.
+type constKey struct {
+	val   uint64
+	width uint8
+}
+
 // Builder interns nodes. The zero value is not usable; call NewBuilder.
 type Builder struct {
-	table map[nodeKey]*Node
-	next  uint32
+	table  map[nodeKey]*Node
+	consts map[constKey]*Node
+	next   uint32
+
+	// constFast is a direct-mapped cache in front of consts: the same few
+	// constants (operand masks, small immediates) are requested millions of
+	// times during extraction, and a verified array probe beats even the
+	// cheap constKey map lookup. Purely a cache — a collision evicts and
+	// falls through to the map, never changing which node is returned.
+	constFast [128]*Node
 }
 
 // NewBuilder returns an empty builder.
 func NewBuilder() *Builder {
-	return &Builder{table: make(map[nodeKey]*Node)}
+	return &Builder{
+		table:  make(map[nodeKey]*Node),
+		consts: make(map[constKey]*Node),
+	}
 }
 
 // NumNodes returns how many distinct nodes have been interned.
@@ -137,9 +157,25 @@ func signExtend(v uint64, from uint8) uint64 {
 	return uint64(int64(v<<shift) >> shift)
 }
 
-// Const returns a bitvector constant of the given width.
+// Const returns a bitvector constant of the given width. Constants go
+// through a dedicated cache in front of intern: the node returned is the
+// same one intern would return (intern still assigns ids and owns the
+// canonical table), the lookup just hashes a plain {val, width} key instead
+// of a nodeKey.
 func (b *Builder) Const(v uint64, w uint8) *Node {
-	return b.intern(KindConst, w, maskWidth(v, w), "")
+	val := maskWidth(v, w)
+	slot := ((val ^ uint64(w)<<56) * 0x9E3779B97F4A7C15) >> (64 - 7)
+	if n := b.constFast[slot]; n != nil && n.Val == val && n.Width == w {
+		return n
+	}
+	key := constKey{val: val, width: w}
+	n, ok := b.consts[key]
+	if !ok {
+		n = b.intern(KindConst, w, val, "")
+		b.consts[key] = n
+	}
+	b.constFast[slot] = n
+	return n
 }
 
 // Bool returns a boolean constant.
@@ -148,7 +184,7 @@ func (b *Builder) Bool(v bool) *Node {
 	if v {
 		x = 1
 	}
-	return b.intern(KindConst, BoolWidth, x, "")
+	return b.Const(x, BoolWidth)
 }
 
 // True and False return the boolean constants.

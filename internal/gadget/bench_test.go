@@ -6,9 +6,11 @@ import (
 	"time"
 
 	"github.com/nofreelunch/gadget-planner/internal/benchprog"
+	"github.com/nofreelunch/gadget-planner/internal/expr"
 	"github.com/nofreelunch/gadget-planner/internal/gadget"
 	"github.com/nofreelunch/gadget-planner/internal/obfuscate"
 	"github.com/nofreelunch/gadget-planner/internal/sbf"
+	"github.com/nofreelunch/gadget-planner/internal/symex"
 )
 
 func benchBinary(b *testing.B) *sbf.Binary {
@@ -45,6 +47,7 @@ func BenchmarkExtractParallel(b *testing.B) {
 
 	for _, par := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
 			var size int
 			for i := 0; i < b.N; i++ {
 				pool := gadget.Extract(bin, gadget.Options{Parallelism: par})
@@ -57,4 +60,62 @@ func BenchmarkExtractParallel(b *testing.B) {
 			b.ReportMetric(baseline/perOp, "speedup-x")
 		})
 	}
+}
+
+// BenchmarkExtractPredecode is the table A/B arm: the same single-worker
+// extraction with the shared predecode table on (the default) and off (the
+// seed's decode-per-step walk). Allocation counts make the walker's
+// buffer-freelist and hashed-dedup savings visible alongside the time.
+func BenchmarkExtractPredecode(b *testing.B) {
+	bin := benchBinary(b)
+	for _, noTable := range []bool{false, true} {
+		name := "table=on"
+		if noTable {
+			name = "table=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pool := gadget.Extract(bin, gadget.Options{Parallelism: 1, NoPredecode: noTable})
+				if pool.Size() == 0 {
+					b.Fatal("empty pool")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSymexPaths measures symbolic execution over every pooled gadget
+// path, comparing the one-shot Exec (fresh state per path) against the
+// reusable Executor the extraction shards use.
+func BenchmarkSymexPaths(b *testing.B) {
+	bin := benchBinary(b)
+	pool := gadget.Extract(bin, gadget.Options{Parallelism: 1})
+	paths := make([][]symex.Step, len(pool.Gadgets))
+	for i, g := range pool.Gadgets {
+		paths[i] = g.Steps
+	}
+
+	b.Run("exec", func(b *testing.B) {
+		b.ReportAllocs()
+		eb := expr.NewBuilder()
+		for i := 0; i < b.N; i++ {
+			for _, steps := range paths {
+				if _, err := symex.Exec(eb, steps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("executor", func(b *testing.B) {
+		b.ReportAllocs()
+		ex := symex.NewExecutor(expr.NewBuilder())
+		for i := 0; i < b.N; i++ {
+			for _, steps := range paths {
+				if _, err := ex.Exec(steps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }

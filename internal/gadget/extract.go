@@ -32,12 +32,20 @@ type Options struct {
 	// is identical at every worker count: shard boundaries and the merge
 	// order depend only on the binary and Stride, never on scheduling.
 	Parallelism int
+	// NoPredecode disables the shared per-section predecode table and walks
+	// paths by re-invoking isa.Decode at every step (the seed behavior).
+	// The pool is byte-identical either way — the table is a pure decode
+	// cache — so the flag exists only as the A/B arm of the extraction
+	// benchmark and the reference side of the equivalence tests, and is
+	// excluded from Fingerprint like Parallelism.
+	NoPredecode bool
 }
 
 // Fingerprint renders the options' semantic fields canonically (defaults
 // applied) for content-addressed artifact keys: two Options values with the
-// same fingerprint produce byte-identical pools. Parallelism is excluded —
-// extraction results are identical at every worker count.
+// same fingerprint produce byte-identical pools. Parallelism and
+// NoPredecode are excluded — extraction results are identical at every
+// worker count and with the predecode table on or off.
 func (o Options) Fingerprint() string {
 	o = o.withDefaults()
 	return fmt.Sprintf("insts=%d,forks=%d,merges=%d,stride=%d",
@@ -96,9 +104,12 @@ type shardJob struct {
 }
 
 // shard is one worker unit's output: gadgets whose effects live in the
-// shard's private builder, plus local statistics.
+// shard's private builder, plus local statistics. The executor and seen set
+// are the shard's reusable per-path scratch.
 type shard struct {
 	b       *expr.Builder
+	ex      *symex.Executor
+	seen    map[uint64]struct{}
 	gadgets []*Gadget
 	stats   Stats
 }
@@ -107,6 +118,11 @@ type shard struct {
 // (forking at conditional jumps, merging across direct jumps), runs symbolic
 // execution on each, and returns the pool of usable gadgets.
 //
+// Unless Options.NoPredecode is set, every section is first decoded once
+// into a shared read-only predecode Table and all path walks chain through
+// it, so each code byte is decoded exactly once no matter how many paths
+// cross it.
+//
 // The scan is sharded across Options.Parallelism workers. Each worker
 // symbolically executes its shard into a private expr.Builder; shards are
 // then merged in shard order, re-interning every effect DAG into the pool's
@@ -114,11 +130,16 @@ type shard struct {
 // pointer-equality invariant a sequential scan would produce.
 func Extract(bin *sbf.Binary, opts Options) *Pool {
 	opts = opts.withDefaults()
-	f := newFetcher(bin)
+	var src instSource
+	if opts.NoPredecode {
+		src = newFetcher(bin)
+	} else {
+		src = Predecode(bin, opts.Parallelism)
+	}
 
 	var jobs []shardJob
 	chunkBytes := opts.Stride * chunkStrides
-	for _, sec := range f.secs {
+	for _, sec := range bin.ExecSections() {
 		for lo := 0; lo < len(sec.Data); lo += chunkBytes {
 			hi := lo + chunkBytes
 			if hi > len(sec.Data) {
@@ -135,7 +156,7 @@ func Extract(bin *sbf.Binary, opts Options) *Pool {
 	}
 	if workers <= 1 {
 		for i, job := range jobs {
-			shards[i] = scanShard(f, job, opts)
+			shards[i] = scanShard(src, job, opts)
 		}
 	} else {
 		next := make(chan int)
@@ -145,7 +166,7 @@ func Extract(bin *sbf.Binary, opts Options) *Pool {
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					shards[i] = scanShard(f, jobs[i], opts)
+					shards[i] = scanShard(src, jobs[i], opts)
 				}
 			}()
 		}
@@ -158,7 +179,7 @@ func Extract(bin *sbf.Binary, opts Options) *Pool {
 
 	// Merge in shard order: statistics sum, and each shard's effect DAGs are
 	// re-interned into the pool builder. Both the shard sequence and the
-	// field order inside importEffect are fixed, so node identities in the
+	// field order inside effectImporter are fixed, so node identities in the
 	// merged builder are deterministic.
 	b := expr.NewBuilder()
 	pool := &Pool{
@@ -166,12 +187,12 @@ func Extract(bin *sbf.Binary, opts Options) *Pool {
 		ByReg:   make(map[isa.Reg][]*Gadget),
 		Stats:   Stats{ByType: make(map[JmpType]int)},
 	}
-	imp := expr.NewImporter(b)
+	imp := newEffectImporter(b)
 	var all []*Gadget
 	for _, sh := range shards {
 		pool.Stats.merge(sh.stats)
 		for _, g := range sh.gadgets {
-			g.Effect = importEffect(imp, g.Effect)
+			g.Effect = imp.effect(g.Effect)
 		}
 		all = append(all, sh.gadgets...)
 	}
@@ -191,168 +212,252 @@ func Extract(bin *sbf.Binary, opts Options) *Pool {
 }
 
 // scanShard scans one job's offsets into a fresh shard.
-func scanShard(f *fetcher, job shardJob, opts Options) *shard {
+func scanShard(src instSource, job shardJob, opts Options) *shard {
 	sh := &shard{
 		b:     expr.NewBuilder(),
 		stats: Stats{ByType: make(map[JmpType]int)},
+		// Path keys embed the start address, and shards partition the
+		// starts, so a shard-local seen set deduplicates exactly like a
+		// global one.
+		seen: make(map[uint64]struct{}),
 	}
-	// Path keys embed the start address, and shards partition the starts, so
-	// a shard-local seen map deduplicates exactly like a global one.
-	seen := make(map[string]bool)
+	sh.ex = symex.NewExecutor(sh.b)
+	w := &walker{src: src, opts: opts, sh: sh}
+	root := w.getBuf()
 	for off := job.lo; off < job.hi; off += opts.Stride {
 		sh.stats.ScannedOffsets++
-		start := job.sec.Addr + uint64(off)
-		walk(f, start, nil, opts, func(steps []symex.Step, end symex.EndKind) {
-			sh.stats.RawCandidates++
-			sh.stats.ByType[Classify(steps, end)]++
-			sh.emit(start, steps, seen)
-		})
+		w.start = job.sec.Addr + uint64(off)
+		w.walk(w.start, root[:0])
 	}
 	return sh
 }
 
-// importEffect re-interns an effect's DAGs into the importer's destination
+// effectImporter re-interns effect DAGs into a destination builder. It
+// holds the offset-sort scratch across effects, so the per-effect
+// allocations are only the maps and slices that escape into the imported
+// effect itself.
+type effectImporter struct {
+	imp  *expr.Importer
+	offs []int64
+}
+
+func newEffectImporter(b *expr.Builder) *effectImporter {
+	return &effectImporter{imp: expr.NewImporter(b)}
+}
+
+// effect re-interns an effect's DAGs into the importer's destination
 // builder. Fields are visited in a fixed order (registers, next RIP, stack
 // writes by ascending offset, memory accesses, conditions) so the
-// destination's interning order is deterministic.
-func importEffect(imp *expr.Importer, e *symex.Effect) *symex.Effect {
+// destination's interning order is deterministic. Empty stack-write and
+// input maps stay nil — most gadgets touch no stack slot, and consumers
+// only range over or index these maps.
+func (ei *effectImporter) effect(e *symex.Effect) *symex.Effect {
 	out := &symex.Effect{
-		StackWrites: make(map[int64]symex.Write, len(e.StackWrites)),
-		Inputs:      make(map[int64]uint8, len(e.Inputs)),
-		StackDelta:  e.StackDelta,
-		End:         e.End,
+		StackDelta: e.StackDelta,
+		End:        e.End,
 	}
 	for r := range e.Regs {
-		out.Regs[r] = imp.Import(e.Regs[r])
+		out.Regs[r] = ei.imp.Import(e.Regs[r])
 	}
-	out.NextRIP = imp.Import(e.NextRIP)
-	offs := make([]int64, 0, len(e.StackWrites))
-	for off := range e.StackWrites {
-		offs = append(offs, off)
+	out.NextRIP = ei.imp.Import(e.NextRIP)
+	if len(e.StackWrites) > 0 {
+		offs := ei.offs[:0]
+		for off := range e.StackWrites {
+			offs = append(offs, off)
+		}
+		sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+		ei.offs = offs
+		out.StackWrites = make(map[int64]symex.Write, len(e.StackWrites))
+		for _, off := range offs {
+			w := e.StackWrites[off]
+			out.StackWrites[off] = symex.Write{Val: ei.imp.Import(w.Val), Size: w.Size}
+		}
 	}
-	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
-	for _, off := range offs {
-		w := e.StackWrites[off]
-		out.StackWrites[off] = symex.Write{Val: imp.Import(w.Val), Size: w.Size}
-	}
-	for off, size := range e.Inputs {
-		out.Inputs[off] = size
+	if len(e.Inputs) > 0 {
+		out.Inputs = make(map[int64]uint8, len(e.Inputs))
+		for off, size := range e.Inputs {
+			out.Inputs[off] = size
+		}
 	}
 	if len(e.MemReads) > 0 {
 		out.MemReads = make([]symex.MemAccess, len(e.MemReads))
 		for i, a := range e.MemReads {
-			out.MemReads[i] = symex.MemAccess{Addr: imp.Import(a.Addr), Val: imp.Import(a.Val), Size: a.Size}
+			out.MemReads[i] = symex.MemAccess{Addr: ei.imp.Import(a.Addr), Val: ei.imp.Import(a.Val), Size: a.Size}
 		}
 	}
 	if len(e.MemWrites) > 0 {
 		out.MemWrites = make([]symex.MemAccess, len(e.MemWrites))
 		for i, a := range e.MemWrites {
-			out.MemWrites[i] = symex.MemAccess{Addr: imp.Import(a.Addr), Val: imp.Import(a.Val), Size: a.Size}
+			out.MemWrites[i] = symex.MemAccess{Addr: ei.imp.Import(a.Addr), Val: ei.imp.Import(a.Val), Size: a.Size}
 		}
 	}
-	out.Conds = imp.ImportAll(e.Conds)
+	out.Conds = ei.imp.ImportAll(e.Conds)
 	return out
 }
 
+// walker enumerates gadget paths from one shard's start offsets. It owns a
+// freelist of step buffers (capacity MaxInsts+1, so in-walk appends never
+// reallocate) that back both the main path and the copies forked at
+// conditional jumps; emit copies a completed path into its gadget, so the
+// buffers recycle freely. One walker serves one shard — it is not safe for
+// concurrent use.
+type walker struct {
+	src   instSource
+	opts  Options
+	sh    *shard
+	start uint64
+	free  [][]symex.Step
+	// scratch is the decode slot handed to instSource: the fetcher decodes
+	// into it, the table ignores it. Recursive walk calls reuse it, so any
+	// instruction needed after a recursion must be copied out first.
+	scratch isa.Inst
+}
+
+// getBuf returns an empty step buffer with capacity MaxInsts+1.
+func (w *walker) getBuf() []symex.Step {
+	if n := len(w.free) - 1; n >= 0 {
+		b := w.free[n]
+		w.free = w.free[:n]
+		return b[:0]
+	}
+	return make([]symex.Step, 0, w.opts.MaxInsts+1)
+}
+
+// putBuf returns a buffer to the freelist once the fork that borrowed it
+// has been fully explored.
+func (w *walker) putBuf(b []symex.Step) { w.free = append(w.free, b) }
+
+// found records one complete (branch-terminated) path: raw-candidate
+// statistics, then shard emission. steps is walker-owned scratch; emit
+// copies what it keeps.
+func (w *walker) found(steps []symex.Step, end symex.EndKind) {
+	w.sh.stats.RawCandidates++
+	w.sh.stats.ByType[Classify(steps, end)]++
+	w.sh.emit(w.start, steps)
+}
+
 // walk follows one gadget path from addr, invoking found for every complete
-// (branch-terminated) path. The steps slice is owned by the caller chain and
-// copied on emission.
-func walk(f *fetcher, addr uint64, steps []symex.Step, opts Options, found func([]symex.Step, symex.EndKind)) {
+// (branch-terminated) path. Instructions come from w.src — the shared
+// predecode table, or decode-per-step when Options.NoPredecode retains the
+// seed behavior.
+//
+// The fork/merge budget is recounted from the steps prefix on entry, not
+// threaded through the recursion, reproducing the seed walk exactly: in
+// particular a merged direct call consumes in-loop merge budget but is not
+// recounted when a later fork recurses, so the taken branch regains that
+// budget just as it always did. Byte-identity with the seed pool depends on
+// this quirk staying put.
+func (w *walker) walk(addr uint64, steps []symex.Step) {
 	forks, merges := 0, 0
-	for _, st := range steps {
-		switch {
-		case st.Inst.Op == isa.OpJcc:
+	for i := range steps {
+		switch in := &steps[i].Inst; {
+		case in.Op == isa.OpJcc:
 			forks++
-		case st.Inst.Op == isa.OpJmp && st.Inst.A.Kind == isa.KindImm:
+		case in.Op == isa.OpJmp && in.A.Kind == isa.KindImm:
 			merges++
 		}
 	}
 
-	for len(steps) < opts.MaxInsts {
-		code := f.at(addr)
-		if code == nil {
-			return
-		}
-		inst, err := isa.Decode(code, addr)
-		if err != nil {
+	for len(steps) < w.opts.MaxInsts {
+		inst, ok := w.src.inst(addr, &w.scratch)
+		if !ok {
 			return
 		}
 
 		switch {
 		case inst.Op == isa.OpRet:
-			found(append(steps, symex.Step{Inst: inst}), symex.EndRet)
+			w.found(append(steps, symex.Step{Inst: *inst}), symex.EndRet)
 			return
 		case inst.Op == isa.OpSyscall:
-			found(append(steps, symex.Step{Inst: inst}), symex.EndSyscall)
+			w.found(append(steps, symex.Step{Inst: *inst}), symex.EndSyscall)
 			return
 		case inst.Op == isa.OpJmp && inst.A.Kind != isa.KindImm:
-			found(append(steps, symex.Step{Inst: inst}), symex.EndJmpInd)
+			w.found(append(steps, symex.Step{Inst: *inst}), symex.EndJmpInd)
 			return
 		case inst.Op == isa.OpCall && inst.A.Kind != isa.KindImm:
-			found(append(steps, symex.Step{Inst: inst}), symex.EndCallInd)
+			w.found(append(steps, symex.Step{Inst: *inst}), symex.EndCallInd)
 			return
 		case inst.Op == isa.OpJmp: // direct: merge with the target gadget
-			if merges >= opts.MaxMerges {
-				found(append(steps, symex.Step{Inst: inst}), symex.EndJmpDir)
+			if merges >= w.opts.MaxMerges {
+				w.found(append(steps, symex.Step{Inst: *inst}), symex.EndJmpDir)
 				return
 			}
 			merges++
-			steps = append(steps, symex.Step{Inst: inst})
+			steps = append(steps, symex.Step{Inst: *inst})
 			addr = uint64(inst.A.Imm)
 		case inst.Op == isa.OpCall: // direct call: follow into the callee
-			if merges >= opts.MaxMerges {
+			if merges >= w.opts.MaxMerges {
 				return
 			}
 			merges++
-			steps = append(steps, symex.Step{Inst: inst})
+			steps = append(steps, symex.Step{Inst: *inst})
 			addr = uint64(inst.A.Imm)
 		case inst.Op == isa.OpJcc:
-			if forks >= opts.MaxForks {
+			if forks >= w.opts.MaxForks {
 				// Report the taken-terminal variant for counting, then stop.
-				found(append(steps, symex.Step{Inst: inst, Taken: true}), symex.EndJmpDir)
+				w.found(append(steps, symex.Step{Inst: *inst, Taken: true}), symex.EndJmpDir)
 				return
 			}
 			// Fork: the taken path continues at the target (Fig. 4c), the
-			// not-taken path falls through (Fig. 4b).
-			taken := append(append([]symex.Step(nil), steps...), symex.Step{Inst: inst, Taken: true})
-			walk(f, uint64(inst.A.Imm), taken, opts, found)
-			steps = append(steps, symex.Step{Inst: inst, Taken: false})
-			addr = inst.End()
+			// not-taken path falls through (Fig. 4b). The taken copy lives
+			// in a freelist buffer for the duration of its subtree. The jcc
+			// itself is copied out of the scratch slot, which the recursion
+			// below reuses.
+			jcc := *inst
+			taken := w.getBuf()
+			taken = append(taken, steps...)
+			taken = append(taken, symex.Step{Inst: jcc, Taken: true})
+			w.walk(uint64(jcc.A.Imm), taken)
+			w.putBuf(taken)
+			steps = append(steps, symex.Step{Inst: jcc, Taken: false})
+			addr = jcc.End()
 			forks++
 		case inst.Op == isa.OpHlt || inst.Op == isa.OpInt3:
 			return // traps end the path unusably
 		default:
-			steps = append(steps, symex.Step{Inst: inst})
+			steps = append(steps, symex.Step{Inst: *inst})
 			addr = inst.End()
 		}
 	}
 }
 
-// pathKey identifies a gadget path for deduplication.
-func pathKey(start uint64, steps []symex.Step) string {
-	key := make([]byte, 0, 8+len(steps)*9)
-	for i := 0; i < 8; i++ {
-		key = append(key, byte(start>>(8*i)))
-	}
-	for _, st := range steps {
-		a := st.Inst.Addr
-		for i := 0; i < 8; i++ {
-			key = append(key, byte(a>>(8*i)))
+// pathHash identifies a gadget path for deduplication: the start address
+// and every step's (address, taken) pair — the identity the seed's
+// heap-allocated string key materialized — folded through a 64-bit
+// splitmix-style mixer instead. The hash is a pure function of the path, so
+// shard contents stay identical at every worker count; at well under a
+// million paths per shard-local set, a 64-bit avalanche hash makes a
+// colliding pair vanishingly unlikely (and the equivalence tests pin pool
+// identity against the reference walk regardless).
+func pathHash(start uint64, steps []symex.Step) uint64 {
+	h := mix64(0x9E3779B97F4A7C15, start)
+	for i := range steps {
+		// The taken bit rides in bit 0; instruction addresses lose only a
+		// top bit that virtual addresses never use.
+		v := steps[i].Inst.Addr << 1
+		if steps[i].Taken {
+			v |= 1
 		}
-		if st.Taken {
-			key = append(key, 1)
-		} else {
-			key = append(key, 0)
-		}
+		h = mix64(h, v)
 	}
-	return string(key)
+	return h
+}
+
+// mix64 folds v into h with splitmix64's finalizer (full avalanche, six
+// arithmetic ops — far cheaper than byte-wise FNV on this hot path).
+func mix64(h, v uint64) uint64 {
+	z := h ^ v
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
 }
 
 // emit runs symbolic execution on a complete path and records the gadget in
-// the shard if its semantics are supported. The Table II record fields that
-// depend on builder node identity (ClobRegs/CtrlRegs) are filled at merge
-// time, after the effect is imported into the pool builder.
-func (sh *shard) emit(start uint64, steps []symex.Step, seen map[string]bool) {
+// the shard if its semantics are supported. steps is walker scratch and is
+// copied into the gadget on success. The Table II record fields that depend
+// on builder node identity (ClobRegs/CtrlRegs) are filled at merge time,
+// after the effect is imported into the pool builder.
+func (sh *shard) emit(start uint64, steps []symex.Step) {
 	// Paths that end in a direct jump are counted but not pooled: their
 	// next-RIP is a constant, so they cannot continue an attacker chain
 	// (merged variants of them are walked separately).
@@ -362,13 +467,13 @@ func (sh *shard) emit(start uint64, steps []symex.Step, seen map[string]bool) {
 		return
 	}
 
-	key := pathKey(start, steps)
-	if seen[key] {
+	key := pathHash(start, steps)
+	if _, ok := sh.seen[key]; ok {
 		return
 	}
-	seen[key] = true
+	sh.seen[key] = struct{}{}
 
-	eff, err := symex.Exec(sh.b, steps)
+	eff, err := sh.ex.Exec(steps)
 	if err != nil {
 		sh.stats.Unsupported++
 		return
@@ -379,14 +484,15 @@ func (sh *shard) emit(start uint64, steps []symex.Step, seen map[string]bool) {
 		Location: start,
 		Len:      pathLen(steps),
 		JmpType:  Classify(steps, eff.End),
-		Steps:    steps,
+		Steps:    append(make([]symex.Step, 0, len(steps)), steps...),
 		Effect:   eff,
 	}
-	for _, st := range steps {
-		if st.Inst.Op == isa.OpJcc {
+	for i := range steps {
+		in := &steps[i].Inst
+		if in.Op == isa.OpJcc {
 			g.HasCond = true
 		}
-		if st.Inst.Op == isa.OpJmp && st.Inst.A.Kind == isa.KindImm {
+		if in.Op == isa.OpJmp && in.A.Kind == isa.KindImm {
 			g.Merged = true
 		}
 	}
@@ -399,8 +505,8 @@ func (sh *shard) emit(start uint64, steps []symex.Step, seen map[string]bool) {
 // pathLen sums the encoded byte length of the path.
 func pathLen(steps []symex.Step) int {
 	n := 0
-	for _, st := range steps {
-		n += int(st.Inst.Len)
+	for i := range steps {
+		n += int(steps[i].Inst.Len)
 	}
 	return n
 }
@@ -408,21 +514,26 @@ func pathLen(steps []symex.Step) int {
 // Count performs the cheap classic scan used for Fig. 1 / Table I numbers:
 // decode from every byte offset until the first branch instruction and
 // classify it. No symbolic execution, no merging, no forking — this mirrors
-// what syntactic tools such as ROPGadget count.
+// what syntactic tools such as ROPGadget count. The scan chains through a
+// predecode table, so each code byte is decoded once instead of once per
+// covering window.
 func Count(bin *sbf.Binary, maxInsts int) map[JmpType]int {
 	if maxInsts == 0 {
 		maxInsts = 10
 	}
+	t := Predecode(bin, runtime.GOMAXPROCS(0))
 	counts := make(map[JmpType]int)
-	for _, sec := range bin.ExecSections() {
+	for si, sec := range t.secs {
+		insts := t.insts[si]
 		for off := 0; off < len(sec.Data); off++ {
-			addr := sec.Addr + uint64(off)
-			code := sec.Data[off:]
-			pos := 0
+			pos := off
 			hasCond := false
 			for n := 0; n < maxInsts; n++ {
-				inst, err := isa.Decode(code[pos:], addr+uint64(pos))
-				if err != nil {
+				if pos >= len(insts) {
+					break
+				}
+				inst := insts[pos]
+				if inst.Len == 0 {
 					break
 				}
 				pos += int(inst.Len)
@@ -493,12 +604,12 @@ func ClonePool(p *Pool) *Pool {
 	for t, n := range p.Stats.ByType {
 		out.Stats.ByType[t] = n
 	}
-	imp := expr.NewImporter(b)
+	imp := newEffectImporter(b)
 	clones := make(map[*Gadget]*Gadget, len(p.Gadgets))
 	out.Gadgets = make([]*Gadget, len(p.Gadgets))
 	for i, g := range p.Gadgets {
 		cg := *g // Steps/ClobRegs/CtrlRegs are shared immutably
-		cg.Effect = importEffect(imp, g.Effect)
+		cg.Effect = imp.effect(g.Effect)
 		out.Gadgets[i] = &cg
 		clones[g] = &cg
 	}

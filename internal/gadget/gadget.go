@@ -9,6 +9,7 @@ package gadget
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"github.com/nofreelunch/gadget-planner/internal/expr"
 	"github.com/nofreelunch/gadget-planner/internal/isa"
@@ -84,8 +85,8 @@ func (g *Gadget) String() string {
 // Classify computes the Table I class from the gadget's path shape.
 func Classify(steps []symex.Step, end symex.EndKind) JmpType {
 	hasCond := false
-	for _, st := range steps {
-		if st.Inst.Op == isa.OpJcc {
+	for i := range steps {
+		if steps[i].Inst.Op == isa.OpJcc {
 			hasCond = true
 		}
 	}
@@ -168,6 +169,76 @@ func (p *Pool) add(g *Gadget) {
 
 // Size returns the number of usable gadgets.
 func (p *Pool) Size() int { return len(p.Gadgets) }
+
+// Canon renders everything a pool consumer can observe — per-gadget record
+// fields, path steps with branch directions, the full symbolic effect
+// (clobbered-register expressions, stack writes by ascending offset, inputs,
+// memory accesses, path conditions, next RIP), and the extraction stats — as
+// one deterministic string. Two pools with equal Canon renderings are
+// interchangeable to every downstream stage; the predecode equivalence tests
+// and the extraction benchmark's identity matrix compare pools through it.
+func (p *Pool) Canon() string {
+	var sb strings.Builder
+	s := p.Stats
+	fmt.Fprintf(&sb, "stats scanned=%d raw=%d supported=%d unsupported=%d merged=%d bytype=",
+		s.ScannedOffsets, s.RawCandidates, s.Supported, s.Unsupported, s.MergedGadgets)
+	for t := TypeReturn; t <= TypeSyscall; t++ {
+		if n := s.ByType[t]; n != 0 {
+			fmt.Fprintf(&sb, " %s=%d", t, n)
+		}
+	}
+	fmt.Fprintf(&sb, "\ngadgets=%d syscalls=%d\n", len(p.Gadgets), len(p.Syscalls))
+	for _, g := range p.Gadgets {
+		eff := g.Effect
+		fmt.Fprintf(&sb, "%d @%#x len=%d type=%s merged=%t cond=%t delta=%d end=%d\n",
+			g.ID, g.Location, g.Len, g.JmpType, g.Merged, g.HasCond, eff.StackDelta, eff.End)
+		sb.WriteString("  steps:")
+		for _, st := range g.Steps {
+			fmt.Fprintf(&sb, " [%#x %s", st.Inst.Addr, st.Inst)
+			if st.Inst.Op == isa.OpJcc {
+				fmt.Fprintf(&sb, " taken=%t", st.Taken)
+			}
+			sb.WriteByte(']')
+		}
+		sb.WriteByte('\n')
+		for _, r := range g.ClobRegs {
+			fmt.Fprintf(&sb, "  %s=%s\n", r, eff.Regs[r])
+		}
+		fmt.Fprintf(&sb, "  ctrl=%v\n", g.CtrlRegs)
+		if len(eff.StackWrites) > 0 {
+			offs := make([]int64, 0, len(eff.StackWrites))
+			for o := range eff.StackWrites {
+				offs = append(offs, o)
+			}
+			sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+			for _, off := range offs {
+				w := eff.StackWrites[off]
+				fmt.Fprintf(&sb, "  stk[%d]=%s sz=%d\n", off, w.Val, w.Size)
+			}
+		}
+		if len(eff.Inputs) > 0 {
+			offs := make([]int64, 0, len(eff.Inputs))
+			for o := range eff.Inputs {
+				offs = append(offs, o)
+			}
+			sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+			for _, off := range offs {
+				fmt.Fprintf(&sb, "  in[%d] sz=%d\n", off, eff.Inputs[off])
+			}
+		}
+		for _, a := range eff.MemReads {
+			fmt.Fprintf(&sb, "  rd *(%s)=%s sz=%d\n", a.Addr, a.Val, a.Size)
+		}
+		for _, a := range eff.MemWrites {
+			fmt.Fprintf(&sb, "  wr *(%s)=%s sz=%d\n", a.Addr, a.Val, a.Size)
+		}
+		for _, c := range eff.Conds {
+			fmt.Fprintf(&sb, "  cond %s\n", c)
+		}
+		fmt.Fprintf(&sb, "  rip=%s\n", eff.NextRIP)
+	}
+	return sb.String()
+}
 
 // fillRecord computes the ClobRegs/CtrlRegs fields from the effect.
 func fillRecord(b *expr.Builder, g *Gadget) {

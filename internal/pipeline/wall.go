@@ -1,12 +1,6 @@
 package pipeline
 
-import (
-	"fmt"
-	"sort"
-	"strings"
-	"sync"
-	"time"
-)
+import "github.com/nofreelunch/gadget-planner/internal/wall"
 
 // Wall buckets account for the suite wall time the per-stage store counters
 // cannot see. A fully warm run still spends seconds outside stage
@@ -17,85 +11,27 @@ import (
 // the CLIs print WallLine next to Store.StatsLine, turning the uncached
 // floor into named numbers.
 //
-// The registry is process-global on purpose: the regions it names span
-// packages (core verifies payloads, experiments renders tables) and the
-// consumer is a per-process stats line, exactly like the stage counters a
-// Store accumulates per run.
+// The registry itself lives in internal/wall (a leaf package) so stages
+// below pipeline in the import graph — gadget's predecode pass records the
+// "decode" bucket — share the same registry; these aliases keep pipeline
+// the API surface its callers already use.
 
-var (
-	wallMu      sync.Mutex
-	wallBuckets = map[string]*wallBucket{}
-)
-
-type wallBucket struct {
-	total time.Duration
-	count int64
-}
+// WallBucketStat is one named region's accumulated cost.
+type WallBucketStat = wall.BucketStat
 
 // TrackWall starts timing a named non-stage region and returns the stop
 // function; use `defer TrackWall("render")()` around a region. Safe for
 // concurrent use; nested and overlapping regions simply accumulate (the
 // buckets are a breakdown, not a partition).
-func TrackWall(name string) func() {
-	start := time.Now()
-	return func() {
-		d := time.Since(start)
-		wallMu.Lock()
-		b := wallBuckets[name]
-		if b == nil {
-			b = &wallBucket{}
-			wallBuckets[name] = b
-		}
-		b.total += d
-		b.count++
-		wallMu.Unlock()
-	}
-}
-
-// WallBucketStat is one named region's accumulated cost.
-type WallBucketStat struct {
-	Name    string  `json:"name"`
-	Seconds float64 `json:"seconds"`
-	Count   int64   `json:"count"`
-}
+func TrackWall(name string) func() { return wall.Track(name) }
 
 // WallStats snapshots the buckets, most expensive first (name-ordered on
 // ties, so the rendering is deterministic for fixed durations).
-func WallStats() []WallBucketStat {
-	wallMu.Lock()
-	defer wallMu.Unlock()
-	out := make([]WallBucketStat, 0, len(wallBuckets))
-	for name, b := range wallBuckets {
-		out = append(out, WallBucketStat{Name: name, Seconds: b.total.Seconds(), Count: b.count})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Seconds != out[j].Seconds {
-			return out[i].Seconds > out[j].Seconds
-		}
-		return out[i].Name < out[j].Name
-	})
-	return out
-}
+func WallStats() []WallBucketStat { return wall.Stats() }
 
 // ResetWall clears the buckets (benchmarks isolating one pass's breakdown).
-func ResetWall() {
-	wallMu.Lock()
-	wallBuckets = map[string]*wallBucket{}
-	wallMu.Unlock()
-}
+func ResetWall() { wall.Reset() }
 
 // WallLine renders the buckets as one stats line, in the style of
 // Store.StatsLine: where the run's non-stage wall time went.
-func WallLine() string {
-	stats := WallStats()
-	if len(stats) == 0 {
-		return "wall: no tracked regions"
-	}
-	var sb strings.Builder
-	sb.WriteString("wall:")
-	for _, b := range stats {
-		fmt.Fprintf(&sb, " %s=%.2fs/%d", b.Name, b.Seconds, b.Count)
-	}
-	sb.WriteString(" time/calls")
-	return sb.String()
-}
+func WallLine() string { return wall.Line() }

@@ -45,12 +45,24 @@ func (e *Effect) HasDerefs() bool {
 
 // Exec symbolically executes the steps, which must end with a control
 // transfer, and returns the gadget's effect. A Builder is threaded in so
-// effects from many gadgets share one node table.
+// effects from many gadgets share one node table. Callers executing many
+// paths against one builder should use an Executor, which reuses the
+// per-path scratch state this one-shot form allocates fresh.
 func Exec(b *expr.Builder, steps []Step) (*Effect, error) {
-	s := NewState(b)
-	for i, st := range steps {
+	return run(NewState(b), steps)
+}
+
+// run executes the steps against a prepared entry state and summarizes the
+// final state into an Effect. The state's scratch (maps, condition and
+// memory-access slices) is never referenced by the returned Effect — slices
+// are copied and maps rebuilt — so a reusable state can be reset and run
+// again without corrupting earlier results. Empty collections stay nil:
+// most paths write nothing and read nothing, and downstream consumers only
+// ever range over or index these fields.
+func run(s *State, steps []Step) (*Effect, error) {
+	for i := range steps {
 		last := i == len(steps)-1
-		if err := s.step(st, last); err != nil {
+		if err := s.step(&steps[i], last); err != nil {
 			return nil, err
 		}
 		if s.endKind != EndNone && !last {
@@ -65,24 +77,34 @@ func Exec(b *expr.Builder, steps []Step) (*Effect, error) {
 		return nil, err
 	}
 	eff := &Effect{
-		StackWrites: make(map[int64]Write, len(s.writes)),
-		Inputs:      make(map[int64]uint8, len(s.inputs)),
-		StackDelta:  delta,
-		NextRIP:     s.nextRIP,
-		Conds:       s.conds,
-		MemReads:    s.memReads,
-		MemWrites:   s.memWrites,
-		End:         s.endKind,
+		StackDelta: delta,
+		NextRIP:    s.nextRIP,
+		End:        s.endKind,
 	}
 	eff.Regs = s.Regs
-	for off, cell := range s.writes {
-		eff.StackWrites[off] = Write{
-			Val:  s.B.And(cell.val, s.B.Const(maskOf(cell.size), 64)),
-			Size: cell.size,
+	if len(s.conds) > 0 {
+		eff.Conds = append(make([]*expr.Node, 0, len(s.conds)), s.conds...)
+	}
+	if len(s.memReads) > 0 {
+		eff.MemReads = append(make([]MemAccess, 0, len(s.memReads)), s.memReads...)
+	}
+	if len(s.memWrites) > 0 {
+		eff.MemWrites = append(make([]MemAccess, 0, len(s.memWrites)), s.memWrites...)
+	}
+	if len(s.writes) > 0 {
+		eff.StackWrites = make(map[int64]Write, len(s.writes))
+		for _, w := range s.writes {
+			eff.StackWrites[w.off] = Write{
+				Val:  s.B.And(w.val, s.B.Const(maskOf(w.size), 64)),
+				Size: w.size,
+			}
 		}
 	}
-	for off, size := range s.inputs {
-		eff.Inputs[off] = size
+	if len(s.inputs) > 0 {
+		eff.Inputs = make(map[int64]uint8, len(s.inputs))
+		for _, in := range s.inputs {
+			eff.Inputs[in.off] = in.size
+		}
 	}
 	return eff, nil
 }
@@ -91,8 +113,8 @@ func Exec(b *expr.Builder, steps []Step) (*Effect, error) {
 // the path selected by st.Taken and accumulates the corresponding condition;
 // a conditional jump that is last terminates the gadget like a direct jump
 // (with its condition as a pre-condition).
-func (s *State) step(st Step, last bool) error {
-	inst := st.Inst
+func (s *State) step(st *Step, last bool) error {
+	inst := &st.Inst
 	next := inst.End()
 	size := inst.Size
 	if size == 0 {

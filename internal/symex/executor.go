@@ -1,0 +1,65 @@
+package symex
+
+import (
+	"github.com/nofreelunch/gadget-planner/internal/expr"
+	"github.com/nofreelunch/gadget-planner/internal/isa"
+)
+
+// Executor symbolically executes many gadget paths against one Builder,
+// reusing the per-path machine state between runs. The one-shot Exec
+// allocates a fresh State — two maps, several slices — per path, and on the
+// cold extraction path (hundreds of thousands of candidate paths, most of
+// them rejected as unsupported) that per-path garbage dominates GC time.
+// The executor keeps one State and resets it: scratch slices are truncated
+// in place, and the entry register/flag variable nodes — which the builder
+// interns, so they are the same pointers for every path — are cached once at
+// construction.
+//
+// Reuse is invisible in the results: run() copies the scratch slices into
+// each returned Effect and rebuilds its maps, so effects produced by a
+// reused state are structurally identical (node-for-node, the builder
+// interning both) to those a fresh State would produce.
+//
+// An Executor is not safe for concurrent use; extraction gives each shard
+// worker its own, bound to the shard's private builder.
+type Executor struct {
+	st State
+
+	entryRegs                                   [isa.NumRegs]*expr.Node
+	entryZF, entrySF, entryOF, entryCF, entryPF *expr.Node
+}
+
+// NewExecutor returns an executor bound to b.
+func NewExecutor(b *expr.Builder) *Executor {
+	ex := &Executor{}
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		ex.entryRegs[r] = b.Var(RegVarName(r), 64)
+	}
+	ex.entryZF = b.Var("zf0", expr.BoolWidth)
+	ex.entrySF = b.Var("sf0", expr.BoolWidth)
+	ex.entryOF = b.Var("of0", expr.BoolWidth)
+	ex.entryCF = b.Var("cf0", expr.BoolWidth)
+	ex.entryPF = b.Var("pf0", expr.BoolWidth)
+	ex.st.B = b
+	return ex
+}
+
+// Exec executes one path exactly like the package-level Exec, reusing the
+// executor's scratch state.
+func (ex *Executor) Exec(steps []Step) (*Effect, error) {
+	s := &ex.st
+	s.Regs = ex.entryRegs
+	s.ZF, s.SF, s.OF, s.CF, s.PF = ex.entryZF, ex.entrySF, ex.entryOF, ex.entryCF, ex.entryPF
+	s.rsp0 = ex.entryRegs[isa.RSP]
+	// stackVars and vc persist across paths: they cache interned nodes and
+	// traversal scratch, not per-path state.
+	s.writes = s.writes[:0]
+	s.inputs = s.inputs[:0]
+	s.memReads = s.memReads[:0]
+	s.memWrites = s.memWrites[:0]
+	s.conds = s.conds[:0]
+	s.nextRIP = nil
+	s.endKind = EndNone
+	s.opaque = 0
+	return run(s, steps)
+}

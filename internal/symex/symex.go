@@ -25,8 +25,27 @@ import (
 // overlapping stack stores, division, and similar.
 var ErrUnsupported = errors.New("symex: unsupported gadget semantics")
 
+// unsupportedError defers message formatting until Error is called:
+// extraction probes hundreds of thousands of candidate paths whose rejection
+// errors are only ever tested with errors.Is, so eagerly rendering the
+// message was pure garbage on the cold path.
+type unsupportedError struct {
+	format string
+	args   []any
+}
+
+func (e *unsupportedError) Error() string {
+	msg := e.format
+	if len(e.args) > 0 {
+		msg = fmt.Sprintf(e.format, e.args...)
+	}
+	return ErrUnsupported.Error() + ": " + msg
+}
+
+func (e *unsupportedError) Unwrap() error { return ErrUnsupported }
+
 func unsupported(format string, args ...any) error {
-	return fmt.Errorf("%w: %s", ErrUnsupported, fmt.Sprintf(format, args...))
+	return &unsupportedError{format: format, args: args}
 }
 
 // RegVarName is the variable naming convention for initial register values:
@@ -74,7 +93,22 @@ func IsRegVar(name string) (isa.Reg, bool) {
 // DerefVarName names the unconstrained value obtained by dereferencing
 // attacker-controlled memory (paper Section IV-B: "the variable is left
 // unconstrained so that it is free to take on whatever value is necessary").
-func DerefVarName(k int) string { return "dm_" + strconv.Itoa(k) }
+func DerefVarName(k int) string {
+	if k < len(derefNames) {
+		return derefNames[k]
+	}
+	return "dm_" + strconv.Itoa(k)
+}
+
+// derefNames precomputes the common low indices: deref names are built once
+// per memory read on the extraction hot path, and paths rarely have more
+// than a handful of reads.
+var derefNames = func() (a [16]string) {
+	for i := range a {
+		a[i] = "dm_" + strconv.Itoa(i)
+	}
+	return
+}()
 
 // IsDerefVar reports whether a variable denotes a controlled-memory read.
 func IsDerefVar(name string) bool { return strings.HasPrefix(name, "dm_") }
@@ -96,9 +130,21 @@ type Step struct {
 	Taken bool
 }
 
-// stackCell is one store to the symbolic stack.
-type stackCell struct {
+// stackWrite is one store to the symbolic stack. Stores live in a small
+// slice rather than a map: a path rarely touches more than a handful of
+// slots, every consultation already scans all entries for overlaps, and a
+// slice resets with a re-slice where a map reset walks every bucket —
+// measurable when extraction runs hundreds of thousands of paths through a
+// reused state.
+type stackWrite struct {
+	off  int64
 	val  *expr.Node // 64-bit value (masked to size on read)
+	size uint8
+}
+
+// stackInput is one fresh attacker-input read from the stack.
+type stackInput struct {
+	off  int64
 	size uint8
 }
 
@@ -110,8 +156,8 @@ type State struct {
 	// Flags as boolean nodes.
 	ZF, SF, OF, CF, PF *expr.Node
 
-	writes map[int64]stackCell // stack stores, keyed by byte offset from rsp0
-	inputs map[int64]uint8     // fresh stack reads: offset -> size
+	writes []stackWrite // stack stores, in program order, offsets from rsp0
+	inputs []stackInput // fresh stack reads, in first-read order
 
 	// memReads/memWrites record dereferences of non-stack addresses whose
 	// address expression is attacker-determined (e.g. [rbp-8] after a pop
@@ -123,6 +169,16 @@ type State struct {
 	nextRIP *expr.Node   // set once the terminal branch executes
 	endKind EndKind
 	opaque  int // counter for opaque flag variables
+
+	// Hot-path caches. rsp0 is the interned entry-rsp variable, consulted on
+	// every stack-relative address computation. stackVars memoizes the
+	// interned stk_N input variables by offset, and vc amortizes free-variable
+	// collection in derefAddrOK. All three reference nodes interned in B —
+	// stable for the builder's lifetime — so an Executor carries them across
+	// paths without resetting.
+	rsp0      *expr.Node
+	stackVars map[int64]*expr.Node
+	vc        expr.VarCollector
 }
 
 // MemAccess is one controlled-memory dereference.
@@ -158,11 +214,7 @@ func (k EndKind) String() string { return _endKindNames[k] }
 
 // NewState returns the fully symbolic entry state.
 func NewState(b *expr.Builder) *State {
-	s := &State{
-		B:      b,
-		writes: make(map[int64]stackCell),
-		inputs: make(map[int64]uint8),
-	}
+	s := &State{B: b}
 	for r := isa.Reg(0); r < isa.NumRegs; r++ {
 		s.Regs[r] = b.Var(RegVarName(r), 64)
 	}
@@ -171,6 +223,7 @@ func NewState(b *expr.Builder) *State {
 	s.OF = b.Var("of0", expr.BoolWidth)
 	s.CF = b.Var("cf0", expr.BoolWidth)
 	s.PF = b.Var("pf0", expr.BoolWidth)
+	s.rsp0 = s.Regs[isa.RSP]
 	return s
 }
 
@@ -179,7 +232,7 @@ func (s *State) c(v uint64) *expr.Node { return s.B.Const(v, 64) }
 // rspOffset returns the constant byte offset of the current rsp from rsp0,
 // or an error if rsp has become symbolic.
 func (s *State) rspOffset() (int64, error) {
-	diff := s.B.Sub(s.Regs[isa.RSP], s.B.Var(RegVarName(isa.RSP), 64))
+	diff := s.B.Sub(s.Regs[isa.RSP], s.rsp0)
 	if !diff.IsConst() {
 		return 0, unsupported("rsp is not a constant offset from entry rsp")
 	}
@@ -189,7 +242,7 @@ func (s *State) rspOffset() (int64, error) {
 // stackOffsetOf decides whether an effective-address expression is
 // stack-relative and returns its offset.
 func (s *State) stackOffsetOf(ea *expr.Node) (int64, error) {
-	diff := s.B.Sub(ea, s.B.Var(RegVarName(isa.RSP), 64))
+	diff := s.B.Sub(ea, s.rsp0)
 	if !diff.IsConst() {
 		return 0, unsupported("memory access outside the stack")
 	}
@@ -203,41 +256,70 @@ func overlap(aOff int64, aSize uint8, bOff int64, bSize uint8) bool {
 // readStack reads size bytes at a constant stack offset. Untouched cells
 // produce fresh attacker-controlled input variables.
 func (s *State) readStack(off int64, size uint8) (*expr.Node, error) {
-	if cell, ok := s.writes[off]; ok && cell.size == size {
-		return s.B.And(cell.val, s.c(maskOf(size))), nil
+	for i := range s.writes {
+		if w := &s.writes[i]; w.off == off && w.size == size {
+			return s.B.And(w.val, s.c(maskOf(size))), nil
+		}
 	}
-	for wOff, cell := range s.writes {
-		if overlap(off, size, wOff, cell.size) {
+	for i := range s.writes {
+		if w := &s.writes[i]; overlap(off, size, w.off, w.size) {
 			return nil, unsupported("partially overlapping stack read at %d", off)
 		}
 	}
-	if prev, ok := s.inputs[off]; ok && prev != size {
-		return nil, unsupported("stack slot %d read at sizes %d and %d", off, prev, size)
-	}
-	for iOff, iSize := range s.inputs {
-		if iOff != off && overlap(off, size, iOff, iSize) {
+	seen := false
+	for i := range s.inputs {
+		in := &s.inputs[i]
+		if in.off == off {
+			if in.size != size {
+				return nil, unsupported("stack slot %d read at sizes %d and %d", off, in.size, size)
+			}
+			seen = true
+		} else if overlap(off, size, in.off, in.size) {
 			return nil, unsupported("overlapping stack input at %d", off)
 		}
 	}
-	s.inputs[off] = size
-	v := s.B.Var(StackVarName(off), 64)
+	if !seen {
+		s.inputs = append(s.inputs, stackInput{off: off, size: size})
+	}
+	v := s.stackVar(off)
 	if size == 8 {
 		return v, nil
 	}
 	return s.B.And(v, s.c(maskOf(size))), nil
 }
 
+// stackVar interns the attacker-input variable for a stack offset, memoized
+// so repeated reads of common offsets skip the name formatting and string
+// hashing inside Builder.Var.
+func (s *State) stackVar(off int64) *expr.Node {
+	if v, ok := s.stackVars[off]; ok {
+		return v
+	}
+	if s.stackVars == nil {
+		s.stackVars = make(map[int64]*expr.Node)
+	}
+	v := s.B.Var(StackVarName(off), 64)
+	s.stackVars[off] = v
+	return v
+}
+
 // writeStack stores size bytes at a constant stack offset.
 func (s *State) writeStack(off int64, size uint8, v *expr.Node) error {
-	for wOff, cell := range s.writes {
-		if wOff != off && overlap(off, size, wOff, cell.size) {
+	for i := range s.writes {
+		if w := &s.writes[i]; w.off != off && overlap(off, size, w.off, w.size) {
 			return unsupported("partially overlapping stack write at %d", off)
 		}
 	}
-	if cell, ok := s.writes[off]; ok && cell.size != size {
-		return unsupported("stack slot %d written at sizes %d and %d", off, cell.size, size)
+	for i := range s.writes {
+		if w := &s.writes[i]; w.off == off {
+			if w.size != size {
+				return unsupported("stack slot %d written at sizes %d and %d", off, w.size, size)
+			}
+			w.val = v
+			return nil
+		}
 	}
-	s.writes[off] = stackCell{val: v, size: size}
+	s.writes = append(s.writes, stackWrite{off: off, val: v, size: size})
 	return nil
 }
 
@@ -295,11 +377,11 @@ const maxDerefs = 4
 // derefAddrOK checks an effective address is attacker-determined: built
 // only from entry registers and attacker-chosen values.
 func (s *State) derefAddrOK(ea *expr.Node) bool {
-	for _, name := range expr.Vars(ea) {
-		if IsAttackerVar(name) {
+	for _, v := range s.vc.Collect(ea) {
+		if IsAttackerVar(v.Name) {
 			continue
 		}
-		if _, ok := IsRegVar(name); ok {
+		if _, ok := IsRegVar(v.Name); ok {
 			continue
 		}
 		return false
