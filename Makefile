@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test vet fmt race bench bench-solver bench-planner bench-cache bench-disk bench-stream bench-stream-quick bench-serve bench-serve-quick bench-extract bench-extract-quick check
+.PHONY: build test vet fmt race bench bench-solver bench-planner bench-cache bench-disk bench-stream bench-stream-quick bench-serve bench-serve-quick bench-extract bench-extract-quick bench-isa bench-isa-quick check
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,17 @@ bench-extract:
 bench-extract-quick:
 	$(GO) run ./cmd/experiments -run extractbench -quick
 
+# Multi-backend attack-surface benchmark: classic counts and extracted pool
+# sizes per instruction-set backend (x64, rv64, rv64c) on original vs
+# obfuscated builds; writes BENCH_ISA.json and cross-checks the C-extension
+# claim (rv64c pools strictly larger than aligned rv64) plus per-backend
+# pool identity across parallelism 1/2/8 x predecode table on/off.
+bench-isa:
+	$(GO) run ./cmd/experiments -run isabench
+
+bench-isa-quick:
+	$(GO) run ./cmd/experiments -run isabench -quick
+
 # CI gate: formatting, static checks, the full test suite under the race
 # detector, and the benchmarks' built-in determinism/identity cross-checks.
-check: fmt vet race bench-planner bench-cache bench-disk bench-stream-quick bench-serve-quick bench-extract-quick
+check: fmt vet race bench-planner bench-cache bench-disk bench-stream-quick bench-serve-quick bench-extract-quick bench-isa-quick

@@ -11,7 +11,8 @@
 // plannerbench (writes BENCH_PLANNER.json), cachebench (writes
 // BENCH_CACHE.json), diskbench (writes BENCH_DISK.json), servebench (the
 // analysis-service benchmark; writes BENCH_SERVE.json), extractbench (the
-// cold-extraction benchmark; writes BENCH_EXTRACT.json), stream (the
+// cold-extraction benchmark; writes BENCH_EXTRACT.json), isabench (the
+// multi-backend attack-surface benchmark; writes BENCH_ISA.json), stream (the
 // generated-corpus scale-out benchmark; writes BENCH_STREAM.json and a
 // per-cell BENCH_STREAM.jsonl; also reachable as the -stream shorthand,
 // with -cells sizing the corpus and -cachesize starving the eviction arm).
@@ -65,6 +66,7 @@ func run() error {
 	streamJSON := flag.String("streamjson", "BENCH_STREAM.json", "output path for the streaming corpus benchmark")
 	streamJSONL := flag.String("streamjsonl", "BENCH_STREAM.jsonl", "output path for the streaming per-cell rows")
 	extractJSON := flag.String("extractjson", "BENCH_EXTRACT.json", "output path for the cold-extraction benchmark")
+	isaJSON := flag.String("isajson", "BENCH_ISA.json", "output path for the multi-backend attack-surface benchmark")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file (go tool pprof)")
 	flag.Parse()
 
@@ -304,6 +306,22 @@ func run() error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *extractJSON)
+	}
+	if want("isabench") {
+		res, err := experiments.BenchISA(opts)
+		if err != nil {
+			return err
+		}
+		section("ISA benchmark — attack surface per backend, aligned vs compressed")
+		fmt.Print(experiments.RenderISABench(res))
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*isaJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *isaJSON)
 	}
 	if selected["stream"] {
 		rowsFile, err := os.Create(*streamJSONL)

@@ -56,12 +56,17 @@ func run() error {
 	binPath := flag.String("bin", "", "SBF binary")
 	progName := flag.String("prog", "", "built-in benchmark to compare across obfuscations")
 	seed := flag.Int64("seed", 42, "obfuscation seed")
+	isaFlag := cliutil.ISAFlag(flag.CommandLine)
 	server := cliutil.ServerFlag(flag.CommandLine)
 	sf := cliutil.RegisterStore(flag.CommandLine)
 	flag.Parse()
 
+	isaName, err := cliutil.ResolveISA(*isaFlag)
+	if err != nil {
+		return err
+	}
 	if *server != "" {
-		return runServed(*server, *binPath, *progName, *seed)
+		return runServed(*server, *binPath, *progName, *seed, isaName)
 	}
 
 	store, err := sf.Open()
@@ -78,7 +83,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		report(store, *binPath, bin)
+		report(store, *binPath, bin, isaName)
 		return nil
 	}
 	if *progName == "" {
@@ -93,17 +98,23 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		bin, err := pipeline.Build(store, p, passes, *seed)
+		bin, _, err := pipeline.BuildISACtx(context.Background(), store, p, passes, *seed, isaName)
 		if err != nil {
 			return err
 		}
-		report(store, fmt.Sprintf("%s/%s", *progName, cfg.name), bin)
+		report(store, fmt.Sprintf("%s/%s", *progName, cfg.name), bin, "")
 	}
 	return nil
 }
 
-func report(store *pipeline.Store, label string, bin *sbf.Binary) {
-	counts := pipeline.Count(store, bin, 10)
+// report scans bin. A non-empty isaName overrides the scan backend (the
+// binary's own ISA tag otherwise) — e.g. scanning an rv64 binary under
+// rv64c turns compressed decoding on over the same bytes.
+func report(store *pipeline.Store, label string, bin *sbf.Binary, isaName string) {
+	if isaName == "" {
+		isaName = bin.ISA
+	}
+	counts := pipeline.CountISA(store, bin, 10, isaName)
 	fmt.Printf("%s: text=%d bytes, %d gadgets\n", label, bin.CodeSize(), gadget.TotalCount(counts))
 	for _, t := range classes {
 		fmt.Printf("  %-8s %7d\n", t, counts[t])
@@ -111,7 +122,7 @@ func report(store *pipeline.Store, label string, bin *sbf.Binary) {
 }
 
 // runServed sends the scans to a gpd instance instead of computing locally.
-func runServed(addr, binPath, progName string, seed int64) error {
+func runServed(addr, binPath, progName string, seed int64, isaName string) error {
 	client, err := serve.Dial(addr)
 	if err != nil {
 		return err
@@ -121,6 +132,9 @@ func runServed(addr, binPath, progName string, seed int64) error {
 		data, err := os.ReadFile(binPath)
 		if err != nil {
 			return err
+		}
+		if isaName != "" {
+			return fmt.Errorf("-isa applies to source builds; served binaries are scanned under their own ISA tag")
 		}
 		res, err := client.Run(ctx, serve.Request{Op: serve.OpCount, Binary: data, Name: binPath}, nil)
 		if err != nil {
@@ -134,7 +148,7 @@ func runServed(addr, binPath, progName string, seed int64) error {
 	}
 	for _, cfg := range obfConfigs {
 		res, err := client.Run(ctx, serve.Request{
-			Op: serve.OpCount, Program: progName, Obf: cfg.spec, Seed: seed,
+			Op: serve.OpCount, Program: progName, Obf: cfg.spec, Seed: seed, ISA: isaName,
 		}, nil)
 		if err != nil {
 			return err

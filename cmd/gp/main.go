@@ -45,9 +45,15 @@ func run() error {
 	timeout := flag.Duration("timeout", 30*time.Second, "planning timeout per goal")
 	noTriage := flag.Bool("notriage", false, "disable solver query triage (A/B benchmarking; results are identical)")
 	noPlanCache := flag.Bool("noplancache", false, "disable the planner's provider cache (A/B benchmarking; results are identical)")
+	isaFlag := cliutil.ISAFlag(flag.CommandLine)
 	server := cliutil.ServerFlag(flag.CommandLine)
 	sf := cliutil.RegisterStore(flag.CommandLine).WithParallel(flag.CommandLine)
 	flag.Parse()
+
+	isaName, err := cliutil.ResolveISA(*isaFlag)
+	if err != nil {
+		return err
+	}
 
 	if *binPath == "" {
 		return fmt.Errorf("need -bin")
@@ -60,6 +66,9 @@ func run() error {
 	if *server != "" {
 		if *noTriage || *noPlanCache {
 			return fmt.Errorf("-notriage/-noplancache are local A/B knobs; the server uses the canonical configuration")
+		}
+		if isaName != "" {
+			return fmt.Errorf("-isa is a local scan override; served binaries are analyzed under their own ISA tag")
 		}
 		return runServed(*server, data, *binPath, *goalName, *maxPlans, *timeout, *dump, *verbose)
 	}
@@ -78,15 +87,20 @@ func run() error {
 		Store:       store,
 	}
 	cfg.Subsume.DisableTriage = *noTriage
+	// -isa pins the scan backend; the default is the binary's own ISA tag.
+	// The interesting override is scanning an rv64 binary under rv64c —
+	// same bytes, compressed decoding on.
+	cfg.Extract.ISA = isaName
 	analysis := core.Analyze(bin, cfg)
 	fmt.Printf("extraction: %d raw candidates, %d supported\n",
 		analysis.RawPool.Stats.RawCandidates, analysis.RawPool.Size())
 	fmt.Printf("subsumption: %s\n", analysis.SubsumeStats)
 
-	goals := planner.Goals()
+	allGoals := planner.GoalsForISA(analysis.Pool.ISA)
+	goals := allGoals
 	if *goalName != "all" {
 		goals = nil
-		for _, g := range planner.Goals() {
+		for _, g := range allGoals {
 			if g.Name == *goalName {
 				goals = []planner.Goal{g}
 			}
@@ -104,7 +118,7 @@ func run() error {
 			fmt.Printf("payload %d: %d bytes, %d gadgets\n", i+1, len(pl.Bytes), len(pl.Chain))
 			if *verbose {
 				for _, g := range pl.Chain {
-					fmt.Printf("    %s\n", g)
+					fmt.Printf("    %s\n", g.StringOn(analysis.Pool.Backend()))
 				}
 			}
 			if *dump {

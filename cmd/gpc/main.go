@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,10 +35,16 @@ func run() error {
 	obfSpec := flag.String("obf", "", "obfuscation: llvm, tigress, or comma-separated passes (sub,bcf,fla,enc,virt)")
 	seed := flag.Int64("seed", 42, "obfuscation seed")
 	execute := flag.Bool("run", false, "run the binary in the emulator after building")
-	selfmod := flag.Int("selfmod", 0, "apply self-modification with this XOR key (1-255)")
+	selfmod := flag.Int("selfmod", 0, "apply self-modification with this XOR key (1-255; x64 builds only)")
 	list := flag.Bool("list", false, "list built-in benchmark programs")
+	isaFlag := cliutil.ISAFlag(flag.CommandLine)
 	sf := cliutil.RegisterStore(flag.CommandLine)
 	flag.Parse()
+
+	isaName, err := cliutil.ResolveISA(*isaFlag)
+	if err != nil {
+		return err
+	}
 
 	if *list {
 		for _, p := range benchprog.All() {
@@ -68,6 +75,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *selfmod != 0 && isaName != "" && isaName != "x64" {
+		return fmt.Errorf("-selfmod is an x64-only transform (isa %q)", isaName)
+	}
 
 	// Build through the same staged pipeline the experiments use. A CLI
 	// invocation is a one-shot in-memory store, but with -cachedir (or
@@ -76,7 +86,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	bin, err := pipeline.Build(store, prog, passes, *seed)
+	bin, _, err := pipeline.BuildISACtx(context.Background(), store, prog, passes, *seed, isaName)
 	if err != nil {
 		return err
 	}

@@ -48,9 +48,13 @@ type writerGadget struct {
 // Run implements baseline.Tool.
 func (t *Tool) Run(bin *sbf.Binary) *baseline.Result {
 	res := &baseline.Result{ToolName: t.Name()}
-	res.GadgetsTotal = gadget.Count(bin, 8)[gadget.TypeReturn]
+	be, okBE := isa.ByName(bin.ISA)
+	if !okBE {
+		return res
+	}
+	res.GadgetsTotal = gadget.CountISA(bin, 8, be)[gadget.TypeReturn]
 
-	pool := gadget.Extract(bin, gadget.Options{MaxInsts: 8, MaxForks: 1, MaxMerges: 1})
+	pool := gadget.Extract(bin, gadget.Options{ISA: bin.ISA, MaxInsts: 8, MaxForks: 1, MaxMerges: 1})
 	b := pool.Builder
 
 	// Classify pop-style setters: ret gadgets whose effect on one register
@@ -113,8 +117,8 @@ func (t *Tool) Run(bin *sbf.Binary) *baseline.Result {
 		return anchors[i].NumInsts() < anchors[j].NumInsts()
 	})
 
-	for _, goal := range planner.Goals() {
-		if chain, ok := t.buildChain(bin, b, goal, setters, writers, anchors); ok {
+	for _, goal := range planner.GoalsForISA(pool.ISA) {
+		if chain, ok := t.buildChain(bin, b, be, goal, setters, writers, anchors); ok {
 			res.Chains = append(res.Chains, chain)
 		}
 	}
@@ -125,7 +129,7 @@ func (t *Tool) Run(bin *sbf.Binary) *baseline.Result {
 // buildChain implements angrop's fixed strategy: set each goal register via
 // a pop gadget (writing "/bin/sh" to .data first when a pointer is needed),
 // then fire the syscall gadget.
-func (t *Tool) buildChain(bin *sbf.Binary, b *expr.Builder, goal planner.Goal,
+func (t *Tool) buildChain(bin *sbf.Binary, b *expr.Builder, be isa.Backend, goal planner.Goal,
 	setters map[isa.Reg][]popGadget, writers []writerGadget, anchors []*gadget.Gadget) (baseline.Chain, bool) {
 
 	chain := baseline.Chain{Goal: goal.Name}
@@ -172,7 +176,8 @@ func (t *Tool) buildChain(bin *sbf.Binary, b *expr.Builder, goal planner.Goal,
 	for _, a := range anchors {
 		ok := true
 		for r := range goal.Regs {
-			if a.Effect.Regs[r] != b.Var(symex.RegVarName(r), 64) {
+			if int(r) >= len(a.Effect.Regs) ||
+				a.Effect.Regs[r] != b.Var(symex.RegVarNameOn(be, r), 64) {
 				ok = false
 				break
 			}

@@ -1,0 +1,52 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"github.com/nofreelunch/gadget-planner/internal/baseline"
+	"github.com/nofreelunch/gadget-planner/internal/baseline/angrop"
+	"github.com/nofreelunch/gadget-planner/internal/baseline/ropgadget"
+	"github.com/nofreelunch/gadget-planner/internal/baseline/sgc"
+	"github.com/nofreelunch/gadget-planner/internal/benchprog"
+	"github.com/nofreelunch/gadget-planner/internal/obfuscate"
+)
+
+// TestBaselinesOnRV64 runs every baseline tool against an RV64 binary
+// through the backend classification hooks. ROPGadget and Angrop are
+// x86-64-template tools: they must degrade gracefully (report syntactic
+// counts, produce no chains) rather than misdecode. SGC shares the
+// planner's backend-neutral machinery and must find chains.
+func TestBaselinesOnRV64(t *testing.T) {
+	p, ok := benchprog.ByName("crc")
+	if !ok {
+		t.Fatal("crc benchmark missing")
+	}
+	bin, err := benchprog.BuildISA(p, obfuscate.LLVMObf(), 42, "rv64")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tool := range []baseline.Tool{&ropgadget.Tool{}, &angrop.Tool{}} {
+		res := tool.Run(bin)
+		if res.GadgetsTotal == 0 {
+			t.Errorf("%s: zero syntactic gadget count on rv64", res.ToolName)
+		}
+		if len(res.Chains) != 0 {
+			t.Errorf("%s: unexpected chains on rv64 (x86-template tool)", res.ToolName)
+		}
+	}
+
+	res := (&sgc.Tool{}).Run(bin)
+	if res.GadgetsTotal == 0 {
+		t.Fatal("SGC: zero gadget count on rv64")
+	}
+	verified := 0
+	for _, c := range res.Chains {
+		if c.Verified {
+			verified++
+		}
+	}
+	if verified == 0 {
+		t.Errorf("SGC: no verified chains on rv64 (total=%d)", res.GadgetsTotal)
+	}
+}

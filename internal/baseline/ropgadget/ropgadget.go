@@ -37,10 +37,23 @@ func (t *Tool) Run(bin *sbf.Binary) *baseline.Result {
 		depth = 10
 	}
 	res := &baseline.Result{ToolName: t.Name()}
+	be, ok := isa.ByName(bin.ISA)
+	if !ok {
+		return res
+	}
 
-	// Syntactic scan: every byte offset, decode until the first ret/jmp —
-	// the classic count (this is what inflates on obfuscated binaries).
-	res.GadgetsTotal = gadget.TotalCount(gadget.Count(bin, depth))
+	// Syntactic scan: every stride-th offset, decode until the first
+	// ret/jmp — the classic count (this is what inflates on obfuscated
+	// binaries). The scan runs through the binary's backend classification
+	// hooks, so the count is meaningful on every ISA.
+	res.GadgetsTotal = gadget.TotalCount(gadget.CountISA(bin, depth, be))
+
+	// The execve chain template below is x86-64-specific (exact "pop reg;
+	// ret" byte patterns and the SysV register file); on other backends
+	// ROPGadget reports the syntactic count only.
+	if isa.CanonicalISA(bin.ISA) != isa.DefaultISA {
+		return res
+	}
 
 	// Template pieces: exact contiguous patterns only.
 	pieces := map[string]uint64{}

@@ -54,13 +54,14 @@ func (t *Tool) Run(bin *sbf.Binary) *baseline.Result {
 	}
 
 	res := &baseline.Result{ToolName: t.Name()}
-	raw := gadget.Extract(bin, gadget.Options{})
+	raw := gadget.Extract(bin, gadget.Options{ISA: bin.ISA})
 	res.GadgetsTotal = raw.Stats.Supported
 
 	// SGC's gadget selection: return and indirect-jump gadgets only; no
 	// conditional paths, no merged direct jumps.
 	filtered := &gadget.Pool{
 		Builder: raw.Builder,
+		ISA:     raw.ISA,
 		ByReg:   make(map[isa.Reg][]*gadget.Gadget),
 		Stats:   raw.Stats,
 	}
@@ -72,7 +73,7 @@ func (t *Tool) Run(bin *sbf.Binary) *baseline.Result {
 	}
 	pool, _ := subsume.Minimize(filtered, subsume.Options{})
 
-	for _, goal := range planner.Goals() {
+	for _, goal := range planner.GoalsForISA(pool.ISA) {
 		goal := goal
 		conc := payload.NewConcretizer(pool, bin, baseline.PayloadBase)
 		search := planner.Search(pool, goal, planner.Options{

@@ -23,15 +23,24 @@ type Program struct {
 	Stdin       []byte
 }
 
-// Build compiles the program, optionally applying obfuscation passes.
+// Build compiles the program for x86-64, optionally applying obfuscation
+// passes.
 func Build(p Program, passes []obfuscate.Pass, seed int64) (*sbf.Binary, error) {
+	return BuildISA(p, passes, seed, "")
+}
+
+// BuildISA compiles the program for the named instruction set ("", "x64",
+// "rv64", "rv64c"), optionally applying obfuscation passes. Obfuscation runs
+// on the ISA-independent MIR, so every backend sees the same transformed
+// module.
+func BuildISA(p Program, passes []obfuscate.Pass, seed int64, isaName string) (*sbf.Binary, error) {
 	var transform func(*mir.Module) error
 	if len(passes) > 0 {
 		transform = func(m *mir.Module) error {
 			return obfuscate.Apply(m, seed, passes...)
 		}
 	}
-	bin, err := codegen.BuildProgram(p.Source, transform, codegen.Options{})
+	bin, err := codegen.BuildProgram(p.Source, transform, codegen.Options{ISA: isaName})
 	if err != nil {
 		return nil, fmt.Errorf("benchprog: %s: %w", p.Name, err)
 	}

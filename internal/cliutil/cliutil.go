@@ -9,8 +9,10 @@ package cliutil
 
 import (
 	"flag"
+	"fmt"
 	"os"
 
+	"github.com/nofreelunch/gadget-planner/internal/isa"
 	"github.com/nofreelunch/gadget-planner/internal/pipeline"
 )
 
@@ -69,6 +71,26 @@ func (f *StoreFlags) Parallelism() int {
 		return 0
 	}
 	return *f.Parallel
+}
+
+// ISAFlag registers the -isa backend flag, defaulting to $GP_ISA: the
+// instruction-set backend builds target and analyses scan under. Resolve
+// the parsed value with ResolveISA.
+func ISAFlag(fs *flag.FlagSet) *string {
+	return fs.String("isa", os.Getenv("GP_ISA"),
+		"instruction-set backend: x64 (default), rv64, or rv64c (default $GP_ISA)")
+}
+
+// ResolveISA validates a parsed -isa value and returns the canonical
+// backend name ("" stays "", meaning the default x64 everywhere).
+func ResolveISA(name string) (string, error) {
+	if name == "" {
+		return "", nil
+	}
+	if _, ok := isa.ByName(name); !ok {
+		return "", fmt.Errorf("unknown isa %q (want x64, rv64, or rv64c)", name)
+	}
+	return isa.CanonicalISA(name), nil
 }
 
 // ServerFlag registers the -server client flag, defaulting to $GPD_ADDR:

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"github.com/nofreelunch/gadget-planner/internal/asm"
+	"github.com/nofreelunch/gadget-planner/internal/isa"
 	"github.com/nofreelunch/gadget-planner/internal/mir"
 	"github.com/nofreelunch/gadget-planner/internal/sbf"
 )
@@ -24,6 +25,10 @@ type Options struct {
 	TextBase uint64
 	// DataBase is the writable data section's base address. Default 0x601000.
 	DataBase uint64
+	// ISA selects the target instruction set: "x64" (default) or "rv64".
+	// ("rv64c" builds the same uncompressed code as "rv64"; the C extension
+	// matters on the decode side, where it halves the legal gadget stride.)
+	ISA string
 }
 
 func (o Options) withDefaults() Options {
@@ -84,6 +89,13 @@ void exit(int code) {
 // Compile lowers a MIR module to an SBF binary.
 func Compile(m *mir.Module, opts Options) (*sbf.Binary, error) {
 	opts = opts.withDefaults()
+	switch isa.CanonicalISA(opts.ISA) {
+	case isa.DefaultISA:
+	case "rv64", "rv64c":
+		return compileRV64(m, opts, isa.CanonicalISA(opts.ISA))
+	default:
+		return nil, fmt.Errorf("codegen: unknown ISA %q", opts.ISA)
+	}
 
 	// Lay out globals in the data section.
 	extern := make(map[string]uint64, len(m.Globals))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/nofreelunch/gadget-planner/internal/emu"
+	"github.com/nofreelunch/gadget-planner/internal/isa"
 	"github.com/nofreelunch/gadget-planner/internal/minic"
 	"github.com/nofreelunch/gadget-planner/internal/mir"
 	"github.com/nofreelunch/gadget-planner/internal/sbf"
@@ -41,7 +42,11 @@ func Run(bin *sbf.Binary, stdin []byte, maxSteps uint64) (*RunResult, error) {
 	if maxSteps == 0 {
 		maxSteps = 120_000_000
 	}
-	m := emu.NewMachine()
+	be, ok := isa.ByName(bin.ISA)
+	if !ok {
+		return nil, fmt.Errorf("codegen: run: unknown ISA %q", bin.ISA)
+	}
+	m := emu.NewMachineISA(be)
 	os := emu.NewOS()
 	os.Stdin.Reset(stdin)
 	m.OS = os

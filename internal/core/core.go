@@ -135,6 +135,12 @@ type Analysis struct {
 // already computed; results are byte-identical either way.
 func Analyze(bin *sbf.Binary, cfg Config) *Analysis {
 	cfg = cfg.withDefaults()
+	// Adopt the binary's backend unless the caller pinned one explicitly.
+	// Pre-multi-ISA binaries carry an empty ISA tag (x64), which keeps the
+	// extraction fingerprint — and every warm cache key — unchanged.
+	if cfg.Extract.ISA == "" {
+		cfg.Extract.ISA = bin.ISA
+	}
 	a := &Analysis{Binary: bin, cfg: cfg}
 
 	var rawKey string
@@ -152,6 +158,7 @@ func Analyze(bin *sbf.Binary, cfg Config) *Analysis {
 		poolKey = "" // closures have no canonical fingerprint
 		filtered := &gadget.Pool{
 			Builder: pool.Builder,
+			ISA:     pool.ISA,
 			ByReg:   make(map[isa.Reg][]*gadget.Gadget),
 			Stats:   pool.Stats,
 		}
@@ -267,7 +274,9 @@ func (a *Analysis) findPayloads(goal planner.Goal) (*Attack, StageTiming) {
 // rows are collected in the canonical goal order, so output is identical
 // to the serial path.
 func (a *Analysis) FindAll() map[string]*Attack {
-	goals := planner.Goals()
+	// Goals are expressed in the pool's backend syscall ABI; for x64 pools
+	// this is exactly planner.Goals().
+	goals := planner.GoalsForISA(a.Pool.ISA)
 	attacks := make([]*Attack, len(goals))
 	timings := make([]StageTiming, len(goals))
 	workers := a.cfg.Parallelism

@@ -24,17 +24,28 @@ type SyscallHandler interface {
 	Syscall(m *Machine) (exit bool, err error)
 }
 
-// Machine is one emulated hart: registers, flags and an address space.
+// Machine is one emulated hart: registers, flags and an address space. The
+// register file is sized for the largest supported ISA; the active backend
+// determines how many slots are live and which of them is the stack pointer.
 type Machine struct {
-	Regs [isa.NumRegs]uint64
+	Regs [isa.MaxRegs]uint64
 	RIP  uint64
 
-	// Flags.
+	// Flags (x86-64 backend only; RISC-V has no flags register).
 	ZF, SF, OF, CF, PF bool
 
 	Mem   *Memory
 	OS    SyscallHandler
 	Steps uint64
+
+	// Backend register model, cached at construction.
+	be      isa.Backend
+	sp      isa.Reg
+	abi     isa.SyscallABI
+	zero    isa.Reg
+	hasZero bool
+	link    isa.Reg
+	hasLink bool
 
 	// icache is a direct-mapped decoded-instruction cache, invalidated
 	// when executable memory is written (self-modifying code).
@@ -50,24 +61,45 @@ type icEntry struct {
 
 const icacheSize = 1 << 14
 
-// NewMachine returns a machine with an empty address space.
+// NewMachine returns an x86-64 machine with an empty address space.
 func NewMachine() *Machine {
-	return &Machine{Mem: NewMemory(), icache: make([]icEntry, icacheSize)}
+	return NewMachineISA(isa.X64)
 }
 
-// SetupStack maps a stack region and points rsp at its top (minus a small
-// red zone). It returns the initial rsp.
+// NewMachineISA returns a machine executing the given backend's ISA.
+func NewMachineISA(be isa.Backend) *Machine {
+	m := &Machine{Mem: NewMemory(), icache: make([]icEntry, icacheSize), be: be}
+	m.sp = be.SP()
+	m.abi = be.Syscall()
+	m.zero, m.hasZero = be.ZeroReg()
+	m.link, m.hasLink = be.LinkReg()
+	return m
+}
+
+// ISA returns the machine's backend.
+func (m *Machine) ISA() isa.Backend { return m.be }
+
+// SyscallABI returns the backend's syscall register convention.
+func (m *Machine) SyscallABI() isa.SyscallABI { return m.abi }
+
+// SetupStack maps a stack region and points the stack pointer at its top
+// (minus a small red zone). It returns the initial stack pointer.
 func (m *Machine) SetupStack(base, size uint64) uint64 {
 	m.Mem.Map(base, size, PermRead|PermWrite)
 	top := base + size - 64
-	m.Regs[isa.RSP] = top
+	m.Regs[m.sp] = top
 	return top
 }
+
+// SP returns the backend's stack pointer register.
+func (m *Machine) SP() isa.Reg { return m.sp }
 
 func maskFor(size uint8) uint64 {
 	switch size {
 	case 1:
 		return 0xFF
+	case 2:
+		return 0xFFFF
 	case 4:
 		return 0xFFFF_FFFF
 	default:
@@ -111,11 +143,16 @@ func (m *Machine) readOperand(op isa.Operand, size uint8, instEnd uint64) (uint6
 func (m *Machine) writeOperand(op isa.Operand, size uint8, v uint64, instEnd uint64) error {
 	switch op.Kind {
 	case isa.KindReg:
+		if m.hasZero && op.Reg == m.zero {
+			return nil // writes to the hardwired zero register vanish
+		}
 		switch size {
 		case 8:
 			m.Regs[op.Reg] = v
 		case 4:
 			m.Regs[op.Reg] = v & 0xFFFF_FFFF // 32-bit writes zero-extend
+		case 2:
+			m.Regs[op.Reg] = m.Regs[op.Reg]&^uint64(0xFFFF) | v&0xFFFF
 		case 1:
 			m.Regs[op.Reg] = m.Regs[op.Reg]&^uint64(0xFF) | v&0xFF
 		}
@@ -173,16 +210,16 @@ func (m *Machine) condHolds(c isa.Cond) bool {
 }
 
 func (m *Machine) push(v uint64) error {
-	m.Regs[isa.RSP] -= 8
-	return m.Mem.Write(m.Regs[isa.RSP], v, 8)
+	m.Regs[m.sp] -= 8
+	return m.Mem.Write(m.Regs[m.sp], v, 8)
 }
 
 func (m *Machine) pop() (uint64, error) {
-	v, err := m.Mem.Read(m.Regs[isa.RSP], 8)
+	v, err := m.Mem.Read(m.Regs[m.sp], 8)
 	if err != nil {
 		return 0, err
 	}
-	m.Regs[isa.RSP] += 8
+	m.Regs[m.sp] += 8
 	return v, nil
 }
 
@@ -206,7 +243,7 @@ func (m *Machine) fetch() (isa.Inst, error) {
 	if err != nil {
 		return isa.Inst{}, err
 	}
-	inst, err := isa.Decode(window, m.RIP)
+	inst, err := m.be.Decode(window, m.RIP)
 	if err != nil {
 		return isa.Inst{}, fmt.Errorf("emu: decode at %#x: %w", m.RIP, err)
 	}
@@ -226,6 +263,22 @@ func (m *Machine) Step() (exit bool, err error) {
 	size := inst.Size
 	if size == 0 {
 		size = 8
+	}
+
+	// RISC-V three-operand ALU forms (A = B op C) dispatch before the
+	// two-operand x86 cases so OpAdd et al. keep their x86 semantics when C
+	// is absent.
+	if inst.C.Kind != isa.KindNone {
+		switch inst.Op {
+		case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor,
+			isa.OpShl, isa.OpShr, isa.OpSar, isa.OpImul, isa.OpSlt, isa.OpSltu,
+			isa.OpDiv, isa.OpDivU, isa.OpRem, isa.OpRemU:
+			if err := m.stepRV3(&inst, next); err != nil {
+				return false, err
+			}
+			m.RIP = next
+			return false, nil
+		}
 	}
 
 	switch inst.Op {
@@ -426,6 +479,12 @@ func (m *Machine) Step() (exit bool, err error) {
 		if err != nil {
 			return false, err
 		}
+		if inst.B.Kind == isa.KindImm {
+			v += uint64(inst.B.Imm) // RISC-V jr rs1, offset
+		}
+		if m.hasLink {
+			v &^= 1 // RISC-V jalr clears the target's low bit
+		}
 		m.RIP = v
 		return false, nil
 
@@ -434,6 +493,58 @@ func (m *Machine) Step() (exit bool, err error) {
 			m.RIP = uint64(inst.A.Imm)
 			return false, nil
 		}
+
+	case isa.OpBcc:
+		a, err := m.readOperand(inst.B, 8, next)
+		if err != nil {
+			return false, err
+		}
+		b, err := m.readOperand(inst.C, 8, next)
+		if err != nil {
+			return false, err
+		}
+		var taken bool
+		switch inst.Cond {
+		case isa.CondE:
+			taken = a == b
+		case isa.CondNE:
+			taken = a != b
+		case isa.CondL:
+			taken = int64(a) < int64(b)
+		case isa.CondGE:
+			taken = int64(a) >= int64(b)
+		case isa.CondB:
+			taken = a < b
+		case isa.CondAE:
+			taken = a >= b
+		default:
+			return false, fmt.Errorf("emu: bad branch condition %v at %#x", inst.Cond, inst.Addr)
+		}
+		if taken {
+			m.RIP = uint64(inst.A.Imm)
+			return false, nil
+		}
+
+	case isa.OpJal:
+		if err := m.writeOperand(inst.B, 8, next, next); err != nil {
+			return false, err
+		}
+		m.RIP = uint64(inst.A.Imm)
+		return false, nil
+
+	case isa.OpJalr:
+		v, err := m.readOperand(inst.A, 8, next)
+		if err != nil {
+			return false, err
+		}
+		if inst.C.Kind == isa.KindImm {
+			v += uint64(inst.C.Imm)
+		}
+		if err := m.writeOperand(inst.B, 8, next, next); err != nil {
+			return false, err
+		}
+		m.RIP = v &^ 1
+		return false, nil
 
 	case isa.OpCall:
 		var target uint64
@@ -444,13 +555,39 @@ func (m *Machine) Step() (exit bool, err error) {
 			if err != nil {
 				return false, err
 			}
+			if inst.B.Kind == isa.KindImm {
+				v += uint64(inst.B.Imm) // RISC-V jalr ra, rs1, offset
+			}
+			if m.hasLink {
+				v &^= 1
+			}
 			target = v
 		}
-		if err := m.push(next); err != nil {
+		if m.hasLink {
+			m.Regs[m.link] = next
+		} else if err := m.push(next); err != nil {
 			return false, err
 		}
 		m.RIP = target
 		return false, nil
+
+	case isa.OpLoad, isa.OpLoadU:
+		v, err := m.readOperand(inst.B, size, next)
+		if err != nil {
+			return false, err
+		}
+		if inst.Op == isa.OpLoad && size < 8 {
+			sh := 64 - opBits(size)
+			v = uint64(int64(v<<sh) >> sh)
+		}
+		if err := m.writeOperand(inst.A, 8, v, next); err != nil {
+			return false, err
+		}
+
+	case isa.OpAuipc:
+		if err := m.writeOperand(inst.A, 8, inst.Addr+uint64(inst.B.Imm), next); err != nil {
+			return false, err
+		}
 
 	case isa.OpLeave:
 		m.Regs[isa.RSP] = m.Regs[isa.RBP]
@@ -540,9 +677,12 @@ func (m *Machine) Step() (exit bool, err error) {
 		if m.OS == nil {
 			return false, fmt.Errorf("emu: syscall at %#x with no handler", inst.Addr)
 		}
-		// Hardware clobbers rcx (return rip) and r11 (rflags).
-		m.Regs[isa.RCX] = next
-		m.Regs[isa.R11] = 0x202
+		if !m.hasLink {
+			// x86-64 syscall clobbers rcx (return rip) and r11 (rflags);
+			// RISC-V ecall clobbers nothing.
+			m.Regs[isa.RCX] = next
+			m.Regs[isa.R11] = 0x202
+		}
 		exit, err := m.OS.Syscall(m)
 		if err != nil || exit {
 			return exit, err
@@ -559,6 +699,79 @@ func (m *Machine) Step() (exit bool, err error) {
 
 	m.RIP = next
 	return false, nil
+}
+
+// stepRV3 executes a RISC-V three-operand ALU instruction: A = B op C, full
+// 64-bit width, no flag effects.
+func (m *Machine) stepRV3(inst *isa.Inst, next uint64) error {
+	a, err := m.readOperand(inst.B, 8, next)
+	if err != nil {
+		return err
+	}
+	b, err := m.readOperand(inst.C, 8, next)
+	if err != nil {
+		return err
+	}
+	var r uint64
+	switch inst.Op {
+	case isa.OpAdd:
+		r = a + b
+	case isa.OpSub:
+		r = a - b
+	case isa.OpAnd:
+		r = a & b
+	case isa.OpOr:
+		r = a | b
+	case isa.OpXor:
+		r = a ^ b
+	case isa.OpShl:
+		r = a << (b & 63)
+	case isa.OpShr:
+		r = a >> (b & 63)
+	case isa.OpSar:
+		r = uint64(int64(a) >> (b & 63))
+	case isa.OpImul:
+		r = a * b
+	case isa.OpSlt:
+		if int64(a) < int64(b) {
+			r = 1
+		}
+	case isa.OpSltu:
+		if a < b {
+			r = 1
+		}
+	case isa.OpDiv:
+		switch {
+		case b == 0:
+			r = ^uint64(0) // RISC-V: division by zero yields -1
+		case int64(a) == -1<<63 && int64(b) == -1:
+			r = a // signed overflow yields the dividend
+		default:
+			r = uint64(int64(a) / int64(b))
+		}
+	case isa.OpDivU:
+		if b == 0 {
+			r = ^uint64(0)
+		} else {
+			r = a / b
+		}
+	case isa.OpRem:
+		switch {
+		case b == 0:
+			r = a // remainder of division by zero is the dividend
+		case int64(a) == -1<<63 && int64(b) == -1:
+			r = 0
+		default:
+			r = uint64(int64(a) % int64(b))
+		}
+	case isa.OpRemU:
+		if b == 0 {
+			r = a
+		} else {
+			r = a % b
+		}
+	}
+	return m.writeOperand(inst.A, 8, r, next)
 }
 
 // mulS128 returns the high and low halves of the full 128-bit signed product.

@@ -2,8 +2,6 @@ package emu
 
 import (
 	"bytes"
-
-	"github.com/nofreelunch/gadget-planner/internal/isa"
 )
 
 // Linux x86-64 syscall numbers used by the toolchain and by attack goals.
@@ -71,26 +69,33 @@ func (o *OS) EventFor(num uint64) *SyscallEvent {
 
 var _ SyscallHandler = (*OS)(nil)
 
-// Syscall implements SyscallHandler.
+// Syscall implements SyscallHandler. Register conventions come from the
+// machine's backend ABI; syscall numbers use the x86-64 Linux numbering on
+// every backend (the RISC-V toolchain emits the same numbers, keeping goal
+// definitions and the OS model ISA-independent).
 func (o *OS) Syscall(m *Machine) (bool, error) {
-	num := m.Regs[isa.RAX]
-	ev := SyscallEvent{Num: num, Args: [6]uint64{
-		m.Regs[isa.RDI], m.Regs[isa.RSI], m.Regs[isa.RDX],
-		m.Regs[isa.R10], m.Regs[isa.R8], m.Regs[isa.R9],
-	}}
+	abi := m.SyscallABI()
+	num := m.Regs[abi.Num]
+	ev := SyscallEvent{Num: num}
+	for i, r := range abi.Args {
+		if i >= len(ev.Args) {
+			break
+		}
+		ev.Args[i] = m.Regs[r]
+	}
 
 	switch num {
 	case SysWrite:
 		fd, buf, n := ev.Args[0], ev.Args[1], ev.Args[2]
 		data, err := m.Mem.ReadBytes(buf, int(n))
 		if err != nil {
-			m.Regs[isa.RAX] = uint64(^uint64(13) + 1) // -EACCES
+			m.Regs[abi.Ret] = uint64(^uint64(13) + 1) // -EACCES
 			break
 		}
 		if fd == 1 || fd == 2 {
 			o.Stdout.Write(data)
 		}
-		m.Regs[isa.RAX] = n
+		m.Regs[abi.Ret] = n
 
 	case SysRead:
 		buf, n := ev.Args[1], ev.Args[2]
@@ -98,11 +103,11 @@ func (o *OS) Syscall(m *Machine) (bool, error) {
 		read, _ := o.Stdin.Read(tmp)
 		if read > 0 {
 			if err := m.Mem.WriteBytes(buf, tmp[:read]); err != nil {
-				m.Regs[isa.RAX] = uint64(^uint64(13) + 1)
+				m.Regs[abi.Ret] = uint64(^uint64(13) + 1)
 				break
 			}
 		}
-		m.Regs[isa.RAX] = uint64(read)
+		m.Regs[abi.Ret] = uint64(read)
 
 	case SysMmap:
 		length, prot := ev.Args[1], ev.Args[2]
@@ -112,21 +117,21 @@ func (o *OS) Syscall(m *Machine) (bool, error) {
 			o.mmapNext += (length + PageSize) &^ (PageSize - 1)
 		}
 		m.Mem.Map(addr, length, protToPerm(prot))
-		m.Regs[isa.RAX] = addr
+		m.Regs[abi.Ret] = addr
 
 	case SysMprotect:
 		addr, length, prot := ev.Args[0], ev.Args[1], ev.Args[2]
 		if m.Mem.Protect(addr, length, protToPerm(prot)) {
-			m.Regs[isa.RAX] = 0
+			m.Regs[abi.Ret] = 0
 		} else {
-			m.Regs[isa.RAX] = uint64(^uint64(12) + 1) // -ENOMEM
+			m.Regs[abi.Ret] = uint64(^uint64(12) + 1) // -ENOMEM
 		}
 
 	case SysMremap:
-		m.Regs[isa.RAX] = ev.Args[0]
+		m.Regs[abi.Ret] = ev.Args[0]
 
 	case SysGetpid:
-		m.Regs[isa.RAX] = 4242
+		m.Regs[abi.Ret] = 4242
 
 	case SysExecve:
 		if path, err := m.Mem.ReadCString(ev.Args[0], 256); err == nil {
@@ -137,7 +142,7 @@ func (o *OS) Syscall(m *Machine) (bool, error) {
 			o.Exited = true
 			return true, nil
 		}
-		m.Regs[isa.RAX] = 0
+		m.Regs[abi.Ret] = 0
 		return false, nil
 
 	case SysExit, SysExitGrp:
@@ -147,7 +152,7 @@ func (o *OS) Syscall(m *Machine) (bool, error) {
 		return true, nil
 
 	default:
-		m.Regs[isa.RAX] = uint64(^uint64(38) + 1) // -ENOSYS
+		m.Regs[abi.Ret] = uint64(^uint64(38) + 1) // -ENOSYS
 	}
 
 	o.Events = append(o.Events, ev)

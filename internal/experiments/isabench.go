@@ -1,0 +1,183 @@
+package experiments
+
+// BenchISA is the multi-backend attack-surface benchmark behind
+// `make bench-isa`: it builds each program for every instruction-set
+// backend (x64, rv64, rv64c), counts classic gadgets on the original and
+// the LLVM-style obfuscated build, and records the two comparisons the
+// multi-ISA refactor exists to make: the obfuscation-driven increase per
+// backend, and the aligned-vs-compressed decode surface on RISC-V — the
+// rv64c arm scans the same generated code at stride 2 with compressed
+// decoding enabled, so the paper's C-extension claim shows up as a
+// strictly larger pool than the aligned stride-4 rv64 scan. It also pins
+// per-backend determinism: extraction pools render byte-identically across
+// parallelism 1/2/8 and predecode table on/off. BENCH_ISA.json is its JSON
+// rendering.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"github.com/nofreelunch/gadget-planner/internal/benchprog"
+	"github.com/nofreelunch/gadget-planner/internal/gadget"
+	"github.com/nofreelunch/gadget-planner/internal/obfuscate"
+	"github.com/nofreelunch/gadget-planner/internal/pipeline"
+)
+
+// ISAArm is one (program, obfuscation, backend) cell.
+type ISAArm struct {
+	Program string `json:"program"`
+	Passes  string `json:"passes"` // "" = original
+	ISA     string `json:"isa"`
+
+	CodeBytes int `json:"code_bytes"`
+	// Gadgets is the classic syntactic count (gadget.CountISA total).
+	Gadgets int `json:"gadgets"`
+	Returns int `json:"returns"`
+	// Pool is the extracted semantic pool size under Extract defaults.
+	Pool int `json:"pool"`
+}
+
+// ISABench is the full benchmark record (BENCH_ISA.json).
+type ISABench struct {
+	Quick bool  `json:"quick"`
+	Seed  int64 `json:"seed"`
+
+	Arms []ISAArm `json:"arms"`
+
+	// Determinism: per backend, extraction pools must render
+	// byte-identically (gadget.Pool.Canon) across every combination of the
+	// axes below.
+	ParallelismArms []int `json:"parallelism_arms"`
+	PoolsIdentical  bool  `json:"pools_identical"`
+
+	// CompressedLarger is the C-extension claim: every rv64c arm's pool is
+	// strictly larger than the matching aligned rv64 arm's.
+	CompressedLarger bool `json:"compressed_larger"`
+}
+
+// isaBenchBackends are the backend arms, default first.
+var isaBenchBackends = []string{"x64", "rv64", "rv64c"}
+
+// isaBenchParallelisms is the determinism-matrix axis.
+var isaBenchParallelisms = []int{1, 2, 8}
+
+// BenchISA runs the count arms and the per-backend identity matrix.
+func BenchISA(opts Options) (*ISABench, error) {
+	b := &ISABench{
+		Quick:            opts.Quick,
+		Seed:             opts.Seed,
+		ParallelismArms:  append([]int(nil), isaBenchParallelisms...),
+		PoolsIdentical:   true,
+		CompressedLarger: true,
+	}
+
+	programs := []string{"crc", "fibonacci"}
+	if opts.Quick {
+		programs = programs[:1]
+	}
+	obfArms := []struct {
+		label  string
+		passes []obfuscate.Pass
+	}{
+		{"", nil},
+		{"llvm-obf", obfuscate.LLVMObf()},
+	}
+
+	// pool size of the rv64 arm, keyed by program|passes, so the rv64c
+	// arm that follows it can check the strictly-larger claim.
+	rvPool := map[string]int{}
+
+	for _, name := range programs {
+		p, ok := benchprog.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("isabench: unknown program %q", name)
+		}
+		for _, oa := range obfArms {
+			for _, isaName := range isaBenchBackends {
+				bin, _, err := pipeline.BuildISACtx(
+					context.Background(), opts.Store, p, oa.passes, opts.Seed, isaName)
+				if err != nil {
+					return nil, err
+				}
+				counts := pipeline.CountISA(opts.Store, bin, 0, isaName)
+				pool := gadget.Extract(bin, gadget.Options{ISA: isaName})
+				arm := ISAArm{
+					Program:   name,
+					Passes:    oa.label,
+					ISA:       isaName,
+					CodeBytes: codeBytes(bin),
+					Gadgets:   gadget.TotalCount(counts),
+					Returns:   counts[gadget.TypeReturn],
+					Pool:      pool.Size(),
+				}
+				b.Arms = append(b.Arms, arm)
+
+				cell := name + "|" + oa.label
+				switch isaName {
+				case "rv64":
+					rvPool[cell] = arm.Pool
+				case "rv64c":
+					if arm.Pool <= rvPool[cell] {
+						b.CompressedLarger = false
+					}
+				}
+
+				// Identity matrix: the single-worker table walk fixes the
+				// expected rendering; every worker count and both decode
+				// strategies must match it.
+				ref := pool.Canon()
+				for _, par := range isaBenchParallelisms {
+					for _, noTable := range []bool{false, true} {
+						got := gadget.Extract(bin, gadget.Options{
+							ISA: isaName, Parallelism: par, NoPredecode: noTable,
+						}).Canon()
+						if got != ref {
+							b.PoolsIdentical = false
+						}
+					}
+				}
+			}
+		}
+	}
+	return b, nil
+}
+
+// RenderISABench prints the benchmark summary.
+func RenderISABench(b *ISABench) string {
+	var sb strings.Builder
+	mode := "full"
+	if b.Quick {
+		mode = "quick"
+	}
+	fmt.Fprintf(&sb, "multi-ISA attack surface (%s, seed %d):\n", mode, b.Seed)
+	fmt.Fprintf(&sb, "  %-12s %-10s %-6s %10s %8s %8s %6s\n",
+		"program", "passes", "isa", "code bytes", "gadgets", "pool", "")
+	// Index rv64 pools so the rv64c rows can print the compressed/aligned
+	// ratio inline.
+	rv := map[string]int{}
+	for _, a := range b.Arms {
+		if a.ISA == "rv64" {
+			rv[a.Program+"|"+a.Passes] = a.Pool
+		}
+	}
+	for _, a := range b.Arms {
+		passes := a.Passes
+		if passes == "" {
+			passes = "(orig)"
+		}
+		note := ""
+		if a.ISA == "rv64c" {
+			if base := rv[a.Program+"|"+a.Passes]; base > 0 {
+				note = fmt.Sprintf("%.2fx", float64(a.Pool)/float64(base))
+			}
+		}
+		fmt.Fprintf(&sb, "  %-12s %-10s %-6s %10d %8d %8d %6s\n",
+			a.Program, passes, a.ISA, a.CodeBytes, a.Gadgets, a.Pool, note)
+	}
+	fmt.Fprintf(&sb, "  rv64c pool strictly larger than aligned rv64 in every cell: %t\n",
+		b.CompressedLarger)
+	fmt.Fprintf(&sb, "  pools identical across parallelism %v x predecode on/off, per backend: %t\n",
+		b.ParallelismArms, b.PoolsIdentical)
+	return sb.String()
+}

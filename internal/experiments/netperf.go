@@ -185,7 +185,11 @@ func crashProbe(bin *sbf.Binary, repairs map[int]uint64) (crashKind, int, uint64
 		binary.LittleEndian.PutUint64(pattern[off:], v)
 	}
 
-	m := emu.NewMachine()
+	be, ok := isa.ByName(bin.ISA)
+	if !ok {
+		return crashOther, 0, 0, 0
+	}
+	m := emu.NewMachineISA(be)
 	os := emu.NewOS()
 	os.Stdin.Reset(benchprog.NetperfRequest(pattern))
 	m.OS = os
@@ -202,7 +206,7 @@ func crashProbe(bin *sbf.Binary, repairs map[int]uint64) (crashKind, int, uint64
 			continue
 		}
 		if off, ok := cyclicFind(m.RIP); ok {
-			return crashExec, off, m.Regs[isa.RSP], 0
+			return crashExec, off, m.Regs[m.SP()], 0
 		}
 		var mf *emu.MemFault
 		if errors.As(err, &mf) {
@@ -217,7 +221,11 @@ func crashProbe(bin *sbf.Binary, repairs map[int]uint64) (crashKind, int, uint64
 // execve("/bin/sh") happened.
 func exploitFires(bin *sbf.Binary, stdin []byte) bool {
 	defer pipeline.TrackWall("emu-replay")()
-	m := emu.NewMachine()
+	be, ok := isa.ByName(bin.ISA)
+	if !ok {
+		return false
+	}
+	m := emu.NewMachineISA(be)
 	os := emu.NewOS()
 	os.Stdin.Reset(stdin)
 	m.OS = os

@@ -14,6 +14,9 @@ import (
 
 // Options tune extraction.
 type Options struct {
+	// ISA selects the instruction-set backend ("x64", "rv64", "rv64c").
+	// Empty means the default x64 backend.
+	ISA string
 	// MaxInsts caps the instruction count along one gadget path (including
 	// merged pieces). Default 40 — the spill-style code generator produces
 	// long basic blocks, and useful register loads sit well before the
@@ -25,7 +28,8 @@ type Options struct {
 	// MaxMerges caps how many direct jumps a path may follow. Default 3.
 	MaxMerges int
 	// Stride scans every Stride-th byte offset as a potential gadget start.
-	// Default 1 (every offset, finding unaligned gadgets).
+	// Default is the backend's decode stride: 1 on x64 (every offset,
+	// finding unaligned gadgets), 4 on rv64, 2 on rv64c.
 	Stride int
 	// Parallelism is how many workers scan section shards concurrently.
 	// 0 selects runtime.GOMAXPROCS(0); 1 scans single-threaded. The result
@@ -48,8 +52,25 @@ type Options struct {
 // worker count and with the predecode table on or off.
 func (o Options) Fingerprint() string {
 	o = o.withDefaults()
-	return fmt.Sprintf("insts=%d,forks=%d,merges=%d,stride=%d",
+	fp := fmt.Sprintf("insts=%d,forks=%d,merges=%d,stride=%d",
 		o.MaxInsts, o.MaxForks, o.MaxMerges, o.Stride)
+	// The backend joins the fingerprint only when it is not the default, so
+	// every pre-multi-ISA x64 key string — and the warm caches addressed by
+	// them — stays valid byte-for-byte.
+	if name := isa.CanonicalISA(o.ISA); name != isa.DefaultISA {
+		fp += ",isa=" + name
+	}
+	return fp
+}
+
+// backend resolves the options' ISA field; unknown names fall back to the
+// default backend (callers validate names at the CLI boundary).
+func (o Options) backend() isa.Backend {
+	be, ok := isa.ByName(o.ISA)
+	if !ok {
+		return isa.X64
+	}
+	return be
 }
 
 func (o Options) withDefaults() Options {
@@ -63,7 +84,7 @@ func (o Options) withDefaults() Options {
 		o.MaxMerges = 3
 	}
 	if o.Stride == 0 {
-		o.Stride = 1
+		o.Stride = o.backend().Stride()
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
@@ -71,14 +92,16 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// fetcher resolves code bytes at virtual addresses. It is read-only after
-// construction and safe for concurrent use by scan workers.
+// fetcher resolves code bytes at virtual addresses and decodes them with its
+// backend. It is read-only after construction and safe for concurrent use by
+// scan workers.
 type fetcher struct {
 	secs []*sbf.Section
+	be   isa.Backend
 }
 
-func newFetcher(bin *sbf.Binary) *fetcher {
-	return &fetcher{secs: bin.ExecSections()}
+func newFetcher(bin *sbf.Binary, be isa.Backend) *fetcher {
+	return &fetcher{secs: bin.ExecSections(), be: be}
 }
 
 // at returns the code slice starting at addr, or nil.
@@ -130,11 +153,12 @@ type shard struct {
 // pointer-equality invariant a sequential scan would produce.
 func Extract(bin *sbf.Binary, opts Options) *Pool {
 	opts = opts.withDefaults()
+	be := opts.backend()
 	var src instSource
 	if opts.NoPredecode {
-		src = newFetcher(bin)
+		src = newFetcher(bin, be)
 	} else {
-		src = Predecode(bin, opts.Parallelism)
+		src = PredecodeISA(bin, opts.Parallelism, be)
 	}
 
 	var jobs []shardJob
@@ -184,6 +208,7 @@ func Extract(bin *sbf.Binary, opts Options) *Pool {
 	b := expr.NewBuilder()
 	pool := &Pool{
 		Builder: b,
+		ISA:     be.Name(),
 		ByReg:   make(map[isa.Reg][]*Gadget),
 		Stats:   Stats{ByType: make(map[JmpType]int)},
 	}
@@ -205,7 +230,7 @@ func Extract(bin *sbf.Binary, opts Options) *Pool {
 		return all[i].Len < all[j].Len
 	})
 	for _, g := range all {
-		fillRecord(b, g)
+		fillRecord(b, g, be)
 		pool.add(g)
 	}
 	return pool
@@ -221,7 +246,7 @@ func scanShard(src instSource, job shardJob, opts Options) *shard {
 		// global one.
 		seen: make(map[uint64]struct{}),
 	}
-	sh.ex = symex.NewExecutor(sh.b)
+	sh.ex = symex.NewExecutorISA(sh.b, opts.backend())
 	w := &walker{src: src, opts: opts, sh: sh}
 	root := w.getBuf()
 	for off := job.lo; off < job.hi; off += opts.Stride {
@@ -256,6 +281,7 @@ func (ei *effectImporter) effect(e *symex.Effect) *symex.Effect {
 		StackDelta: e.StackDelta,
 		End:        e.End,
 	}
+	out.Regs = make([]*expr.Node, len(e.Regs))
 	for r := range e.Regs {
 		out.Regs[r] = ei.imp.Import(e.Regs[r])
 	}
@@ -351,7 +377,7 @@ func (w *walker) walk(addr uint64, steps []symex.Step) {
 	forks, merges := 0, 0
 	for i := range steps {
 		switch in := &steps[i].Inst; {
-		case in.Op == isa.OpJcc:
+		case in.Op == isa.OpJcc || in.Op == isa.OpBcc:
 			forks++
 		case in.Op == isa.OpJmp && in.A.Kind == isa.KindImm:
 			merges++
@@ -377,6 +403,11 @@ func (w *walker) walk(addr uint64, steps []symex.Step) {
 		case inst.Op == isa.OpCall && inst.A.Kind != isa.KindImm:
 			w.found(append(steps, symex.Step{Inst: *inst}), symex.EndCallInd)
 			return
+		case inst.Op == isa.OpJalr:
+			// RISC-V jalr with a non-{x0,ra} link register: indirect jump
+			// that also deposits a return address.
+			w.found(append(steps, symex.Step{Inst: *inst}), symex.EndJmpInd)
+			return
 		case inst.Op == isa.OpJmp: // direct: merge with the target gadget
 			if merges >= w.opts.MaxMerges {
 				w.found(append(steps, symex.Step{Inst: *inst}), symex.EndJmpDir)
@@ -392,7 +423,14 @@ func (w *walker) walk(addr uint64, steps []symex.Step) {
 			merges++
 			steps = append(steps, symex.Step{Inst: *inst})
 			addr = uint64(inst.A.Imm)
-		case inst.Op == isa.OpJcc:
+		case inst.Op == isa.OpJal: // RISC-V direct jump-and-link: follow it
+			if merges >= w.opts.MaxMerges {
+				return
+			}
+			merges++
+			steps = append(steps, symex.Step{Inst: *inst})
+			addr = uint64(inst.A.Imm)
+		case inst.Op == isa.OpJcc || inst.Op == isa.OpBcc:
 			if forks >= w.opts.MaxForks {
 				// Report the taken-terminal variant for counting, then stop.
 				w.found(append(steps, symex.Step{Inst: *inst, Taken: true}), symex.EndJmpDir)
@@ -462,7 +500,7 @@ func (sh *shard) emit(start uint64, steps []symex.Step) {
 	// next-RIP is a constant, so they cannot continue an attacker chain
 	// (merged variants of them are walked separately).
 	last := steps[len(steps)-1]
-	if last.Inst.Op == isa.OpJcc ||
+	if last.Inst.Op == isa.OpJcc || last.Inst.Op == isa.OpBcc ||
 		(last.Inst.Op == isa.OpJmp && last.Inst.A.Kind == isa.KindImm) {
 		return
 	}
@@ -489,7 +527,7 @@ func (sh *shard) emit(start uint64, steps []symex.Step) {
 	}
 	for i := range steps {
 		in := &steps[i].Inst
-		if in.Op == isa.OpJcc {
+		if in.Op == isa.OpJcc || in.Op == isa.OpBcc {
 			g.HasCond = true
 		}
 		if in.Op == isa.OpJmp && in.A.Kind == isa.KindImm {
@@ -518,10 +556,18 @@ func pathLen(steps []symex.Step) int {
 // predecode table, so each code byte is decoded once instead of once per
 // covering window.
 func Count(bin *sbf.Binary, maxInsts int) map[JmpType]int {
+	return CountISA(bin, maxInsts, isa.X64)
+}
+
+// CountISA is Count against a specific backend. The scan still tries every
+// byte offset; on fixed-stride backends the predecode table leaves
+// misaligned offsets undecodable, so only stride-aligned chains count —
+// exactly the aligned-decode property that shrinks the RISC-V surface.
+func CountISA(bin *sbf.Binary, maxInsts int, be isa.Backend) map[JmpType]int {
 	if maxInsts == 0 {
 		maxInsts = 10
 	}
-	t := Predecode(bin, runtime.GOMAXPROCS(0))
+	t := PredecodeISA(bin, runtime.GOMAXPROCS(0), be)
 	counts := make(map[JmpType]int)
 	for si, sec := range t.secs {
 		insts := t.insts[si]
@@ -537,33 +583,33 @@ func Count(bin *sbf.Binary, maxInsts int) map[JmpType]int {
 					break
 				}
 				pos += int(inst.Len)
-				var t JmpType
-				switch {
-				case inst.Op == isa.OpRet:
-					t = TypeReturn
-				case inst.Op == isa.OpSyscall:
-					t = TypeSyscall
-				case inst.Op == isa.OpJmp && inst.A.Kind == isa.KindImm:
-					t = TypeUDJ
+				var jt JmpType
+				switch be.Classify(&inst) {
+				case isa.ClassRet:
+					jt = TypeReturn
+				case isa.ClassSyscall:
+					jt = TypeSyscall
+				case isa.ClassJmpDir:
+					jt = TypeUDJ
 					if hasCond {
-						t = TypeCDJ
+						jt = TypeCDJ
 					}
-				case (inst.Op == isa.OpJmp || inst.Op == isa.OpCall) && inst.A.Kind != isa.KindImm:
-					t = TypeUIJ
+				case isa.ClassJmpInd, isa.ClassCallInd:
+					jt = TypeUIJ
 					if hasCond {
-						t = TypeCIJ
+						jt = TypeCIJ
 					}
-				case inst.Op == isa.OpCall:
+				case isa.ClassCallDir:
 					// Direct call: classic scanners stop without counting.
-					t = TypeInvalid
-				case inst.Op == isa.OpJcc:
+					jt = TypeInvalid
+				case isa.ClassCondBr:
 					hasCond = true
 					continue
 				default:
 					continue
 				}
-				if t != TypeInvalid {
-					counts[t]++
+				if jt != TypeInvalid {
+					counts[jt]++
 				}
 				break
 			}
@@ -597,6 +643,7 @@ func ClonePool(p *Pool) *Pool {
 	b := expr.NewBuilder()
 	out := &Pool{
 		Builder: b,
+		ISA:     p.ISA,
 		ByReg:   make(map[isa.Reg][]*Gadget, len(p.ByReg)),
 		Stats:   p.Stats,
 	}

@@ -73,11 +73,18 @@ type Gadget struct {
 // NumInsts returns the instruction count along the gadget path.
 func (g *Gadget) NumInsts() int { return len(g.Steps) }
 
-// String renders "addr: inst; inst; ..." for diagnostics and reports.
+// String renders "addr: inst; inst; ..." for diagnostics and reports, in
+// the default backend's syntax. Use StringOn for a non-x64 gadget.
 func (g *Gadget) String() string {
+	return g.StringOn(isa.X64)
+}
+
+// StringOn renders the gadget with the given backend's instruction
+// formatter — RV gadgets print RISC-V assembly rather than x64 mnemonics.
+func (g *Gadget) StringOn(be isa.Backend) string {
 	s := fmt.Sprintf("%#x:", g.Location)
 	for _, st := range g.Steps {
-		s += " " + st.Inst.String() + ";"
+		s += " " + be.FormatInst(&st.Inst) + ";"
 	}
 	return s
 }
@@ -86,7 +93,7 @@ func (g *Gadget) String() string {
 func Classify(steps []symex.Step, end symex.EndKind) JmpType {
 	hasCond := false
 	for i := range steps {
-		if steps[i].Inst.Op == isa.OpJcc {
+		if op := steps[i].Inst.Op; op == isa.OpJcc || op == isa.OpBcc {
 			hasCond = true
 		}
 	}
@@ -114,6 +121,10 @@ func Classify(steps []symex.Step, end symex.EndKind) JmpType {
 type Pool struct {
 	// Builder owns every expression in the pool's effects.
 	Builder *expr.Builder
+	// ISA is the canonical backend name the pool was extracted under
+	// ("x64", "rv64", "rv64c"). Empty is read as the default x64, so pools
+	// decoded from pre-multi-ISA artifacts stay valid.
+	ISA string
 	// Gadgets lists all usable gadgets, ID-indexed.
 	Gadgets []*Gadget
 	// ByReg indexes gadgets by the registers their effect writes.
@@ -170,6 +181,16 @@ func (p *Pool) add(g *Gadget) {
 // Size returns the number of usable gadgets.
 func (p *Pool) Size() int { return len(p.Gadgets) }
 
+// Backend resolves the pool's ISA backend; empty or unknown names resolve to
+// the default x64 backend.
+func (p *Pool) Backend() isa.Backend {
+	be, ok := isa.ByName(p.ISA)
+	if !ok {
+		return isa.X64
+	}
+	return be
+}
+
 // Canon renders everything a pool consumer can observe — per-gadget record
 // fields, path steps with branch directions, the full symbolic effect
 // (clobbered-register expressions, stack writes by ascending offset, inputs,
@@ -179,6 +200,13 @@ func (p *Pool) Size() int { return len(p.Gadgets) }
 // and the extraction benchmark's identity matrix compare pools through it.
 func (p *Pool) Canon() string {
 	var sb strings.Builder
+	be := p.Backend()
+	// The backend line appears only for non-default pools, keeping every
+	// pre-multi-ISA x64 canon rendering (and the hashes pinned on it)
+	// byte-identical.
+	if name := be.Name(); name != isa.DefaultISA {
+		fmt.Fprintf(&sb, "isa=%s\n", name)
+	}
 	s := p.Stats
 	fmt.Fprintf(&sb, "stats scanned=%d raw=%d supported=%d unsupported=%d merged=%d bytype=",
 		s.ScannedOffsets, s.RawCandidates, s.Supported, s.Unsupported, s.MergedGadgets)
@@ -194,17 +222,25 @@ func (p *Pool) Canon() string {
 			g.ID, g.Location, g.Len, g.JmpType, g.Merged, g.HasCond, eff.StackDelta, eff.End)
 		sb.WriteString("  steps:")
 		for _, st := range g.Steps {
-			fmt.Fprintf(&sb, " [%#x %s", st.Inst.Addr, st.Inst)
-			if st.Inst.Op == isa.OpJcc {
+			fmt.Fprintf(&sb, " [%#x %s", st.Inst.Addr, be.FormatInst(&st.Inst))
+			if st.Inst.Op == isa.OpJcc || st.Inst.Op == isa.OpBcc {
 				fmt.Fprintf(&sb, " taken=%t", st.Taken)
 			}
 			sb.WriteByte(']')
 		}
 		sb.WriteByte('\n')
 		for _, r := range g.ClobRegs {
-			fmt.Fprintf(&sb, "  %s=%s\n", r, eff.Regs[r])
+			fmt.Fprintf(&sb, "  %s=%s\n", be.RegName(r), eff.Regs[r])
 		}
-		fmt.Fprintf(&sb, "  ctrl=%v\n", g.CtrlRegs)
+		// Rendered by hand with backend names; matches %v on []isa.Reg for x64.
+		sb.WriteString("  ctrl=[")
+		for i, r := range g.CtrlRegs {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(be.RegName(r))
+		}
+		sb.WriteString("]\n")
 		if len(eff.StackWrites) > 0 {
 			offs := make([]int64, 0, len(eff.StackWrites))
 			for o := range eff.StackWrites {
@@ -241,13 +277,19 @@ func (p *Pool) Canon() string {
 }
 
 // fillRecord computes the ClobRegs/CtrlRegs fields from the effect.
-func fillRecord(b *expr.Builder, g *Gadget) {
+func fillRecord(b *expr.Builder, g *Gadget, be isa.Backend) {
 	eff := g.Effect
-	for r := isa.Reg(0); r < isa.NumRegs; r++ {
-		if r == isa.RSP {
-			continue // rsp movement is tracked by StackDelta
+	sp := be.SP()
+	zero, hasZero := be.ZeroReg()
+	for ri := range eff.Regs {
+		r := isa.Reg(ri)
+		if r == sp {
+			continue // stack-pointer movement is tracked by StackDelta
 		}
-		initial := b.Var(symex.RegVarName(r), 64)
+		if hasZero && r == zero {
+			continue // the hardwired zero register is never clobbered
+		}
+		initial := b.Var(symex.RegVarNameOn(be, r), 64)
 		if eff.Regs[r] == initial {
 			continue
 		}

@@ -59,10 +59,18 @@ type Table struct {
 const predecodeChunk = 64 << 10
 
 // Predecode decodes every byte offset of bin's executable sections into a
-// Table, fanning the (embarrassingly parallel) decode work across at most
-// parallelism workers (<=1 means serial). The build is accounted to the
-// "decode" wall bucket.
+// Table using the default x64 backend, fanning the (embarrassingly parallel)
+// decode work across at most parallelism workers (<=1 means serial). The
+// build is accounted to the "decode" wall bucket.
 func Predecode(bin *sbf.Binary, parallelism int) *Table {
+	return PredecodeISA(bin, parallelism, isa.X64)
+}
+
+// PredecodeISA is Predecode against a specific backend. Offsets the backend
+// refuses to decode — including misaligned ones on fixed-stride ISAs — keep
+// Len == 0 entries, so walks chained through the table stop exactly where a
+// direct decode would.
+func PredecodeISA(bin *sbf.Binary, parallelism int, be isa.Backend) *Table {
 	defer wall.Track("decode")()
 	t := &Table{secs: bin.ExecSections()}
 	t.insts = make([][]isa.Inst, len(t.secs))
@@ -83,7 +91,7 @@ func Predecode(bin *sbf.Binary, parallelism int) *Table {
 	decodeRange := func(j job) {
 		sec, insts := t.secs[j.si], t.insts[j.si]
 		for off := j.lo; off < j.hi; off++ {
-			in, err := isa.Decode(sec.Data[off:], sec.Addr+uint64(off))
+			in, err := be.Decode(sec.Data[off:], sec.Addr+uint64(off))
 			if err == nil {
 				insts[off] = in
 			}
@@ -183,7 +191,7 @@ func (f *fetcher) inst(addr uint64, scratch *isa.Inst) (*isa.Inst, bool) {
 	if code == nil {
 		return nil, false
 	}
-	in, err := isa.Decode(code, addr)
+	in, err := f.be.Decode(code, addr)
 	if err != nil {
 		return nil, false
 	}

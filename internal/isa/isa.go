@@ -34,8 +34,13 @@ const (
 	R14
 	R15
 
-	// NumRegs is the number of general-purpose registers.
+	// NumRegs is the number of x86-64 general-purpose registers.
 	NumRegs = 16
+
+	// MaxRegs is the largest register file any backend exposes (RV64's 32
+	// integer registers). Fixed-size scratch arrays shared across backends
+	// (e.g. the emulator register file) are sized by it.
+	MaxRegs = 32
 )
 
 var _regNames = [NumRegs]string{
@@ -179,6 +184,22 @@ const (
 	OpCqo
 	OpIdiv
 
+	// RISC-V specific mnemonics (never produced by the x86-64 decoder).
+	// Three-operand ALU forms reuse the x86 mnemonics above with the C
+	// operand set (add rd, rs1, rs2); the ops below have no x86 analogue.
+	OpBcc   // compare-and-branch: A = target imm, B/C = rs1/rs2, Cond = relation
+	OpJal   // jump-and-link to a non-standard link register: A = target imm, B = rd
+	OpJalr  // indirect jump-and-link, non-standard link: A = rs1, B = rd, C = offset imm
+	OpLoad  // sign-extending load: A = rd, B = mem, Size = source width
+	OpLoadU // zero-extending load: A = rd, B = mem, Size = source width
+	OpSlt   // set-less-than signed: A = rd, B = rs1, C = rs2/imm
+	OpSltu  // set-less-than unsigned
+	OpAuipc // A = rd, B = imm; rd = inst address + imm
+	OpDiv   // signed divide (RISC-V M semantics: no trap)
+	OpDivU  // unsigned divide
+	OpRem   // signed remainder
+	OpRemU  // unsigned remainder
+
 	numOps
 )
 
@@ -218,6 +239,18 @@ var _opNames = [numOps]string{
 	OpSetcc:   "set",
 	OpCqo:     "cqo",
 	OpIdiv:    "idiv",
+	OpBcc:     "b",
+	OpJal:     "jal",
+	OpJalr:    "jalr",
+	OpLoad:    "l",
+	OpLoadU:   "lu",
+	OpSlt:     "slt",
+	OpSltu:    "sltu",
+	OpAuipc:   "auipc",
+	OpDiv:     "div",
+	OpDivU:    "divu",
+	OpRem:     "rem",
+	OpRemU:    "remu",
 }
 
 // String returns the mnemonic name.
@@ -293,9 +326,12 @@ func RIPOp(disp int32) Operand {
 //     converts back to a displacement using the instruction address).
 type Inst struct {
 	Op   Op
-	Cond Cond  // condition for OpJcc and OpSetcc
-	Size uint8 // operand size in bytes: 1, 4 or 8
+	Cond Cond  // condition for OpJcc, OpSetcc and OpBcc
+	Size uint8 // operand size in bytes: 1, 2, 4 or 8
 	A, B Operand
+	// C is the third operand of RISC-V three-operand forms (add rd, rs1,
+	// rs2/imm). KindNone for every x86-64 instruction.
+	C Operand
 
 	// Addr and Len are decode metadata: the virtual address the instruction
 	// was decoded at and its encoded length in bytes.
@@ -307,7 +343,7 @@ type Inst struct {
 // call, syscall, hlt, int3).
 func (i Inst) IsBranch() bool {
 	switch i.Op {
-	case OpRet, OpJmp, OpJcc, OpCall, OpSyscall, OpHlt, OpInt3:
+	case OpRet, OpJmp, OpJcc, OpCall, OpSyscall, OpHlt, OpInt3, OpBcc, OpJal, OpJalr:
 		return true
 	default:
 		return false
@@ -317,13 +353,18 @@ func (i Inst) IsBranch() bool {
 // IsIndirectBranch reports whether the instruction is an indirect jump or
 // call (target taken from a register or memory).
 func (i Inst) IsIndirectBranch() bool {
-	return (i.Op == OpJmp || i.Op == OpCall) && i.A.Kind != KindImm
+	return (i.Op == OpJmp || i.Op == OpCall || i.Op == OpJalr) && i.A.Kind != KindImm
 }
 
 // IsDirectBranch reports whether the instruction is a direct jump, call or
 // conditional jump with an immediate target.
 func (i Inst) IsDirectBranch() bool {
-	return (i.Op == OpJmp || i.Op == OpCall || i.Op == OpJcc) && i.A.Kind == KindImm
+	switch i.Op {
+	case OpJmp, OpCall, OpJcc, OpBcc, OpJal:
+		return i.A.Kind == KindImm
+	default:
+		return false
+	}
 }
 
 // End returns the address of the byte just past this instruction.

@@ -1,0 +1,64 @@
+package isa
+
+import "testing"
+
+// rvFuzz is the shared body for the RV64/RV64C decoder fuzz targets,
+// mirroring FuzzDecode's contract: never panic, never claim more bytes than
+// provided, and always re-encode stably (encode→decode→encode fixpoint —
+// compressed forms may legally re-encode as their 4-byte expansions).
+func rvFuzz(t *testing.T, be Backend, data []byte) {
+	const addr = 0x401000 // aligned for every stride
+	inst, err := be.Decode(data, addr)
+	if err != nil {
+		return
+	}
+	if inst.Len == 0 || int(inst.Len) > len(data) || inst.Len > 4 {
+		t.Fatalf("bad length %d for %x", inst.Len, data)
+	}
+	_ = be.FormatInst(&inst)
+	_ = be.Classify(&inst)
+	enc, err := be.Encode(inst, addr)
+	if err != nil {
+		return
+	}
+	dec, err := be.Decode(enc, addr)
+	if err != nil {
+		t.Fatalf("re-decode of %x (from %x) failed: %v", enc, data, err)
+	}
+	enc2, err := be.Encode(dec, addr)
+	if err != nil {
+		t.Fatalf("re-encode of %x (from %x) failed: %v", enc, data, err)
+	}
+	if string(enc) != string(enc2) {
+		t.Fatalf("unstable: %x -> %x vs %x", data, enc, enc2)
+	}
+}
+
+func rvSeeds(f *testing.F) {
+	f.Add([]byte{0x93, 0x05, 0x44, 0x02})       // addi a1, s0, 36
+	f.Add([]byte{0x33, 0x85, 0xC5, 0x00})       // add a0, a1, a2
+	f.Add([]byte{0x03, 0xB5, 0x85, 0x01})       // ld a0, 24(a1)
+	f.Add([]byte{0x23, 0x34, 0xA5, 0x00})       // sd a0, 8(a0)
+	f.Add([]byte{0x63, 0x08, 0xB5, 0x00})       // beq a0, a1, +16
+	f.Add([]byte{0xEF, 0x00, 0x40, 0x00})       // jal ra, +4
+	f.Add([]byte{0x67, 0x80, 0x00, 0x00})       // ret
+	f.Add([]byte{0x73, 0x00, 0x00, 0x00})       // ecall
+	f.Add([]byte{0xB7, 0x45, 0x01, 0x00})       // lui a1, 0x14
+	f.Add([]byte{0x13, 0x00, 0x00, 0x00})       // nop
+	f.Add([]byte{0x22, 0xE4})                   // c.sdsp-ish halfword
+	f.Add([]byte{0x82, 0x80})                   // c.jr ra
+	f.Add([]byte{0x2A, 0x84})                   // c.mv s0, a0
+	f.Add([]byte{0x06, 0x61, 0x73, 0x00, 0x00}) // mixed tail
+}
+
+// FuzzDecodeRV64 fuzzes the aligned-only RV64 decoder.
+func FuzzDecodeRV64(f *testing.F) {
+	rvSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) { rvFuzz(t, RV64, data) })
+}
+
+// FuzzDecodeRV64C fuzzes the RV64 decoder with the C extension enabled.
+func FuzzDecodeRV64C(f *testing.F) {
+	rvSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) { rvFuzz(t, RV64C, data) })
+}

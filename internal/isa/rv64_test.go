@@ -1,0 +1,124 @@
+package isa
+
+import "testing"
+
+// TestRV64RoundTrip encodes known instructions and checks decode produces
+// the expected canonical forms and formatting.
+func TestRV64RoundTrip(t *testing.T) {
+	const pc = 0x401000
+	cases := []struct {
+		inst Inst
+		text string
+	}{
+		{Inst{Op: OpMov, Size: 8, A: RegOp(RVA0), B: ImmOp(42)}, "li a0, 0x2a"},
+		{Inst{Op: OpMov, Size: 8, A: RegOp(RVA1), B: RegOp(RVSP)}, "mv a1, sp"},
+		{Inst{Op: OpMov, Size: 8, A: RegOp(RVT0), B: MemOp(RVSP, 16)}, "ld t0, 16(sp)"},
+		{Inst{Op: OpMov, Size: 8, A: MemOp(RVSP, 8), B: RegOp(RVRA)}, "sd ra, 8(sp)"},
+		{Inst{Op: OpMov, Size: 4, A: MemOp(RVA0, -4), B: RegOp(RVA1)}, "sw a1, -4(a0)"},
+		{Inst{Op: OpMov, Size: 1, A: MemOp(RVA0, 0), B: RegOp(RVZero)}, "sb zero, 0(a0)"},
+		{Inst{Op: OpLoad, Size: 4, A: RegOp(RVA0), B: MemOp(RVS0, -32)}, "lw a0, -32(s0)"},
+		{Inst{Op: OpLoadU, Size: 1, A: RegOp(RVT1), B: MemOp(RVA2, 3)}, "lbu t1, 3(a2)"},
+		{Inst{Op: OpAdd, Size: 8, A: RegOp(RVA0), B: RegOp(RVA1), C: RegOp(RVA2)}, "add a0, a1, a2"},
+		{Inst{Op: OpAdd, Size: 8, A: RegOp(RVSP), B: RegOp(RVSP), C: ImmOp(-32)}, "addi sp, sp, -0x20"},
+		{Inst{Op: OpSub, Size: 8, A: RegOp(RVT0), B: RegOp(RVT1), C: RegOp(RVT2)}, "sub t0, t1, t2"},
+		{Inst{Op: OpShl, Size: 8, A: RegOp(RVA0), B: RegOp(RVA0), C: ImmOp(3)}, "slli a0, a0, 3"},
+		{Inst{Op: OpSar, Size: 8, A: RegOp(RVA0), B: RegOp(RVA0), C: ImmOp(63)}, "srai a0, a0, 0x3f"},
+		{Inst{Op: OpSlt, Size: 8, A: RegOp(RVA0), B: RegOp(RVA1), C: RegOp(RVA2)}, "slt a0, a1, a2"},
+		{Inst{Op: OpSltu, Size: 8, A: RegOp(RVA0), B: RegOp(RVA1), C: ImmOp(1)}, "sltiu a0, a1, 1"},
+		{Inst{Op: OpImul, Size: 8, A: RegOp(RVA0), B: RegOp(RVA1), C: RegOp(RVA2)}, "mul a0, a1, a2"},
+		{Inst{Op: OpDiv, Size: 8, A: RegOp(RVA0), B: RegOp(RVA1), C: RegOp(RVA2)}, "div a0, a1, a2"},
+		{Inst{Op: OpRemU, Size: 8, A: RegOp(RVA0), B: RegOp(RVA1), C: RegOp(RVA2)}, "remu a0, a1, a2"},
+		{Inst{Op: OpBcc, Cond: CondE, Size: 8, A: ImmOp(pc + 16), B: RegOp(RVA0), C: RegOp(RVZero)}, "beq a0, zero, 0x401010"},
+		{Inst{Op: OpBcc, Cond: CondB, Size: 8, A: ImmOp(pc - 8), B: RegOp(RVT0), C: RegOp(RVT1)}, "bltu t0, t1, 0x400ff8"},
+		{Inst{Op: OpJmp, Size: 8, A: ImmOp(pc + 0x800)}, "j 0x401800"},
+		{Inst{Op: OpCall, Size: 8, A: ImmOp(pc - 0x400)}, "call 0x400c00"},
+		{Inst{Op: OpJmp, Size: 8, A: RegOp(RVRA), B: ImmOp(0)}, "ret"},
+		{Inst{Op: OpJmp, Size: 8, A: RegOp(RVT0), B: ImmOp(0)}, "jr t0"},
+		{Inst{Op: OpCall, Size: 8, A: RegOp(RVT1), B: ImmOp(8)}, "jalr ra, 8(t1)"},
+		{Inst{Op: OpAuipc, Size: 8, A: RegOp(RVA0), B: ImmOp(0x2000)}, "auipc a0, 0x2"},
+		{Inst{Op: OpSyscall}, "ecall"},
+		{Inst{Op: OpNop}, "nop"},
+	}
+	for _, tc := range cases {
+		enc, err := RV64.Encode(tc.inst, pc)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", tc.inst, err)
+		}
+		if len(enc) != 4 {
+			t.Fatalf("encode %+v: got %d bytes", tc.inst, len(enc))
+		}
+		dec, err := RV64.Decode(enc, pc)
+		if err != nil {
+			t.Fatalf("decode %x (%+v): %v", enc, tc.inst, err)
+		}
+		if got := RV64.FormatInst(&dec); got != tc.text {
+			t.Errorf("decode %x: format %q, want %q", enc, got, tc.text)
+		}
+		enc2, err := RV64.Encode(dec, pc)
+		if err != nil {
+			t.Fatalf("re-encode %x: %v", enc, err)
+		}
+		if string(enc) != string(enc2) {
+			t.Errorf("unstable encode: %x vs %x", enc, enc2)
+		}
+	}
+}
+
+// TestRV64Alignment checks the stride/alignment rules that create the
+// aligned-decode gadget-surface difference.
+func TestRV64Alignment(t *testing.T) {
+	// ret encoded at an aligned address.
+	code := []byte{0x67, 0x80, 0x00, 0x00}
+	if _, err := RV64.Decode(code, 0x401002); err == nil {
+		t.Fatal("rv64: expected misaligned decode to fail at +2")
+	}
+	if _, err := RV64C.Decode(code, 0x401002); err != nil {
+		t.Fatalf("rv64c: halfword-aligned decode should be allowed: %v", err)
+	}
+	if _, err := RV64C.Decode(code, 0x401001); err == nil {
+		t.Fatal("rv64c: expected odd-address decode to fail")
+	}
+	// A compressed halfword decodes only under the C backend.
+	cj := []byte{0x82, 0x80} // c.jr ra
+	if _, err := RV64.Decode(cj, 0x401000); err == nil {
+		t.Fatal("rv64: compressed decode without C should fail")
+	}
+	inst, err := RV64C.Decode(cj, 0x401000)
+	if err != nil {
+		t.Fatalf("rv64c: c.jr ra: %v", err)
+	}
+	if RV64C.Classify(&inst) != ClassRet {
+		t.Fatalf("c.jr ra should classify as ret, got %s", RV64C.Classify(&inst))
+	}
+	if inst.Len != 2 {
+		t.Fatalf("compressed Len = %d, want 2", inst.Len)
+	}
+}
+
+// TestRV64Classify pins the boundary classification.
+func TestRV64Classify(t *testing.T) {
+	cases := []struct {
+		code []byte
+		want Class
+	}{
+		{[]byte{0x67, 0x80, 0x00, 0x00}, ClassRet},     // jalr x0, 0(ra)
+		{[]byte{0x67, 0x00, 0x03, 0x00}, ClassJmpInd},  // jr t1
+		{[]byte{0x67, 0x80, 0x80, 0x00}, ClassJmpInd},  // jalr x0, 8(ra): offset != 0
+		{[]byte{0xE7, 0x80, 0x00, 0x00}, ClassCallInd}, // jalr ra, 0(ra)
+		{[]byte{0x73, 0x00, 0x00, 0x00}, ClassSyscall},
+		{[]byte{0x73, 0x00, 0x10, 0x00}, ClassTrap},    // ebreak
+		{[]byte{0x6F, 0x00, 0x40, 0x00}, ClassJmpDir},  // jal x0, +4
+		{[]byte{0xEF, 0x00, 0x40, 0x00}, ClassCallDir}, // jal ra, +4
+		{[]byte{0x63, 0x08, 0xB5, 0x00}, ClassCondBr},  // beq
+		{[]byte{0x33, 0x85, 0xC5, 0x00}, ClassOther},   // add
+	}
+	for _, tc := range cases {
+		inst, err := RV64.Decode(tc.code, 0x401000)
+		if err != nil {
+			t.Fatalf("decode %x: %v", tc.code, err)
+		}
+		if got := RV64.Classify(&inst); got != tc.want {
+			t.Errorf("classify %x (%s): got %s want %s", tc.code, RV64.FormatInst(&inst), got, tc.want)
+		}
+	}
+}

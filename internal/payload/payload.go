@@ -169,9 +169,10 @@ func (c *Concretizer) Concretize(p *planner.Plan, goal planner.Goal) (*Payload, 
 	// Symbolic register state across the chain. Registers start as fresh
 	// uncontrolled variables; any surviving reference to them means the
 	// plan depends on uncontrolled state.
-	var regState [isa.NumRegs]*expr.Node
-	for r := isa.Reg(0); r < isa.NumRegs; r++ {
-		regState[r] = b.Var(fmt.Sprintf("init_%s", r), 64)
+	be := c.pool.Backend()
+	regState := make([]*expr.Node, be.NumRegs())
+	for r := range regState {
+		regState[r] = b.Var(fmt.Sprintf("init_%s", be.RegName(isa.Reg(r))), 64)
 	}
 
 	// cur tracks where the current gadget's entry rsp points inside the
@@ -305,8 +306,8 @@ func (c *Concretizer) Concretize(p *planner.Plan, goal planner.Goal) (*Payload, 
 		}
 
 		// Apply register effects.
-		var newState [isa.NumRegs]*expr.Node
-		for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		newState := make([]*expr.Node, len(regState))
+		for r := range newState {
 			newState[r] = expr.Subst(b, g.Effect.Regs[r], bind)
 		}
 		regState = newState
@@ -472,8 +473,8 @@ func (c *Concretizer) resolveRead(b *expr.Builder, abs int64, size uint8,
 }
 
 func effectVars(eff *symex.Effect) []string {
-	nodes := make([]*expr.Node, 0, isa.NumRegs+8)
-	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+	nodes := make([]*expr.Node, 0, len(eff.Regs)+8)
+	for r := range eff.Regs {
 		nodes = append(nodes, eff.Regs[r])
 	}
 	if eff.NextRIP != nil {
@@ -506,7 +507,11 @@ func isReg(name string) bool {
 // reports whether the goal syscall fires with the demanded register values.
 // This is the end-to-end ground truth for every generated payload.
 func Verify(bin *sbf.Binary, p *Payload, maxSteps uint64) error {
-	m := emu.NewMachine()
+	be, ok := isa.ByName(bin.ISA)
+	if !ok {
+		return fmt.Errorf("payload: unknown binary ISA %q", bin.ISA)
+	}
+	m := emu.NewMachineISA(be)
 	os := emu.NewOS()
 	m.OS = os
 	m.Mem.LoadBinary(bin)
@@ -518,7 +523,7 @@ func Verify(bin *sbf.Binary, p *Payload, maxSteps uint64) error {
 	if err := m.Mem.WriteBytes(p.Base, p.Bytes); err != nil {
 		return fmt.Errorf("payload: inject: %w", err)
 	}
-	m.Regs[isa.RSP] = p.Base + 8
+	m.Regs[be.SP()] = p.Base + 8
 	m.RIP = p.Entry
 
 	if maxSteps == 0 {
@@ -546,12 +551,14 @@ func Verify(bin *sbf.Binary, p *Payload, maxSteps uint64) error {
 		return errors.New("payload: goal syscall never fired")
 	}
 
-	// Check demanded argument registers.
-	argIdx := map[isa.Reg]int{
-		isa.RDI: 0, isa.RSI: 1, isa.RDX: 2, isa.R10: 3, isa.R8: 4, isa.R9: 5,
+	// Check demanded argument registers against the backend's syscall ABI.
+	abi := be.Syscall()
+	argIdx := make(map[isa.Reg]int, len(abi.Args))
+	for i, r := range abi.Args {
+		argIdx[r] = i
 	}
 	for r, spec := range p.Goal.Regs {
-		if r == isa.RAX {
+		if r == abi.Num {
 			continue // implied by the syscall number match
 		}
 		idx, ok := argIdx[r]

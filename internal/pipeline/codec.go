@@ -289,6 +289,7 @@ func sortedOffsets[V any](m map[int64]V) []int64 {
 }
 
 func writeEffect(e *enc, r *exprReg, eff *symex.Effect) {
+	e.uv(uint64(len(eff.Regs)))
 	for i := range eff.Regs {
 		e.uv(r.ref(eff.Regs[i]))
 	}
@@ -325,6 +326,12 @@ func writeEffect(e *enc, r *exprReg, eff *symex.Effect) {
 
 func readEffect(d *dec, t *exprTab) *symex.Effect {
 	eff := &symex.Effect{}
+	nr := d.count()
+	if nr > isa.MaxRegs {
+		d.fail()
+		return eff
+	}
+	eff.Regs = make([]*expr.Node, nr)
 	for i := range eff.Regs {
 		eff.Regs[i] = t.node(d)
 	}
@@ -426,6 +433,7 @@ func writeInst(e *enc, in isa.Inst) {
 	e.u8(in.Size)
 	writeOperand(e, in.A)
 	writeOperand(e, in.B)
+	writeOperand(e, in.C)
 	e.uv(in.Addr)
 	e.u8(in.Len)
 }
@@ -437,6 +445,7 @@ func readInst(d *dec) isa.Inst {
 	in.Size = d.u8()
 	in.A = readOperand(d)
 	in.B = readOperand(d)
+	in.C = readOperand(d)
 	in.Addr = d.uv()
 	in.Len = d.u8()
 	return in
@@ -533,6 +542,7 @@ func readPoolStats(d *dec) gadget.Stats {
 }
 
 func writePool(e *enc, p *gadget.Pool) {
+	e.str(p.ISA)
 	r := newExprReg()
 	for _, g := range p.Gadgets {
 		r.regEffect(g.Effect)
@@ -549,10 +559,11 @@ func writePool(e *enc, p *gadget.Pool) {
 // decoded gadget into the ByReg/Syscalls indexes exactly as extraction's
 // pool insertion does.
 func readPool(d *dec) *gadget.Pool {
+	isaName := d.str()
 	b := expr.NewBuilder()
 	t := readExprTab(d, b)
 	n := d.count()
-	p := &gadget.Pool{Builder: b, ByReg: make(map[isa.Reg][]*gadget.Gadget)}
+	p := &gadget.Pool{Builder: b, ISA: isaName, ByReg: make(map[isa.Reg][]*gadget.Gadget)}
 	for i := 0; i < n; i++ {
 		if d.bad {
 			return nil

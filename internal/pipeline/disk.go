@@ -63,7 +63,7 @@ const (
 	// is zero.
 	DefaultDiskBudget = 1 << 30 // 1 GiB
 
-	diskMagic   = "GPA1"
+	diskMagic   = "GPA2"
 	artSuffix   = ".art"
 	claimSuffix = ".claim"
 

@@ -9,6 +9,7 @@ import (
 
 	"github.com/nofreelunch/gadget-planner/internal/benchprog"
 	"github.com/nofreelunch/gadget-planner/internal/gadget"
+	"github.com/nofreelunch/gadget-planner/internal/isa"
 	"github.com/nofreelunch/gadget-planner/internal/obfuscate"
 	"github.com/nofreelunch/gadget-planner/internal/planner"
 	"github.com/nofreelunch/gadget-planner/internal/sbf"
@@ -40,6 +41,17 @@ func BuildKey(source string, passNames []string, seed int64) string {
 	return "build:" + hex.EncodeToString(h.Sum(nil)[:16])
 }
 
+// BuildKeyISA fingerprints the compile/obfuscate stage under a specific
+// backend. The default x64 backend yields BuildKey's exact string, so every
+// pre-multi-ISA build artifact stays addressable.
+func BuildKeyISA(source string, passNames []string, seed int64, isaName string) string {
+	k := BuildKey(source, passNames, seed)
+	if name := isa.CanonicalISA(isaName); name != isa.DefaultISA {
+		k += "|isa=" + name
+	}
+	return k
+}
+
 // BinaryKey content-addresses a binary (its serialized bytes), memoized
 // per *sbf.Binary pointer — store-shared binaries are hashed once.
 // Nil-safe: a nil store returns "" (compute-directly mode).
@@ -68,6 +80,17 @@ func CountKey(binKey string, maxInsts int) string {
 		maxInsts = 10 // gadget.Count's default
 	}
 	return binKey + "|count:" + fmt.Sprintf("%d", maxInsts)
+}
+
+// CountKeyISA fingerprints the classic scan under a specific backend. The
+// default x64 backend yields CountKey's exact string, so pre-multi-ISA warm
+// caches stay addressable.
+func CountKeyISA(binKey string, maxInsts int, isaName string) string {
+	k := CountKey(binKey, maxInsts)
+	if name := isa.CanonicalISA(isaName); name != isa.DefaultISA {
+		k += ",isa=" + name
+	}
+	return k
 }
 
 // ExtractKey fingerprints the extraction stage.
@@ -118,6 +141,26 @@ func BuildCtx(ctx context.Context, s *Store, p benchprog.Program, passes []obfus
 	})
 }
 
+// BuildISACtx is BuildCtx against a specific code-generation backend
+// ("x64", "rv64", "rv64c"; empty selects the default x64 and produces
+// BuildCtx's exact artifact and key).
+func BuildISACtx(ctx context.Context, s *Store, p benchprog.Program, passes []obfuscate.Pass, seed int64, isaName string) (*sbf.Binary, Info, error) {
+	if isa.CanonicalISA(isaName) == isa.DefaultISA {
+		return BuildCtx(ctx, s, p, passes, seed)
+	}
+	key := ""
+	if s != nil {
+		names := make([]string, len(passes))
+		for i, ps := range passes {
+			names[i] = ps.Name()
+		}
+		key = BuildKeyISA(p.Source, names, seed, isaName)
+	}
+	return DoCtx(ctx, s, StageBuild, key, func() (*sbf.Binary, error) {
+		return benchprog.BuildISA(p, passes, seed, isaName)
+	})
+}
+
 // SelfModify applies the post-link self-modification transform through the
 // store.
 func SelfModify(s *Store, bin *sbf.Binary, key byte) (*sbf.Binary, error) {
@@ -145,14 +188,31 @@ func Count(s *Store, bin *sbf.Binary, maxInsts int) map[gadget.JmpType]int {
 }
 
 // CountCtx is Count with a cancellation boundary and the store's request
-// outcome.
+// outcome. The scan runs under the binary's own backend (pre-multi-ISA
+// binaries carry an empty tag, read as x64).
 func CountCtx(ctx context.Context, s *Store, bin *sbf.Binary, maxInsts int) (map[gadget.JmpType]int, Info, error) {
+	return CountISACtx(ctx, s, bin, maxInsts, bin.ISA)
+}
+
+// CountISA runs the classic scan under a specific backend through the store.
+func CountISA(s *Store, bin *sbf.Binary, maxInsts int, isaName string) map[gadget.JmpType]int {
+	m, _, _ := CountISACtx(context.Background(), s, bin, maxInsts, isaName)
+	return m
+}
+
+// CountISACtx is CountISA with a cancellation boundary and the store's
+// request outcome.
+func CountISACtx(ctx context.Context, s *Store, bin *sbf.Binary, maxInsts int, isaName string) (map[gadget.JmpType]int, Info, error) {
 	k := ""
 	if s != nil {
-		k = CountKey(s.BinaryKey(bin), maxInsts)
+		k = CountKeyISA(s.BinaryKey(bin), maxInsts, isaName)
+	}
+	be, ok := isa.ByName(isaName)
+	if !ok {
+		be = isa.X64
 	}
 	return DoCtx(ctx, s, StageCount, k, func() (map[gadget.JmpType]int, error) {
-		return gadget.Count(bin, maxInsts), nil
+		return gadget.CountISA(bin, maxInsts, be), nil
 	})
 }
 

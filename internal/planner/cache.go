@@ -60,8 +60,9 @@ func newProviderCache(pool *gadget.Pool, disabled bool) *providerCache {
 	b := pool.Builder
 	// Pre-intern every register variable so provides() never mutates the
 	// builder from an expansion worker, whatever the pool contains.
-	for r := isa.Reg(0); r < isa.NumRegs; r++ {
-		b.Var(symex.RegVarName(r), 64)
+	be := pool.Backend()
+	for r := 0; r < be.NumRegs(); r++ {
+		b.Var(symex.RegVarNameOn(be, isa.Reg(r)), 64)
 	}
 	c := &providerCache{b: b, disabled: disabled}
 	if !disabled {

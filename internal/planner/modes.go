@@ -27,13 +27,13 @@ func classifyVars(nodes ...*expr.Node) varClass {
 			vc.inputs = append(vc.inputs, name)
 			continue
 		}
+		if symex.IsSPVar(name) {
+			// The stack pointer is managed by the chain layout itself and
+			// can never be a planning requirement (any backend).
+			vc.other = true
+			continue
+		}
 		if r, ok := symex.IsRegVar(name); ok {
-			if r == isa.RSP {
-				// rsp is managed by the chain layout itself and can never
-				// be a planning requirement.
-				vc.other = true
-				continue
-			}
 			vc.regs = append(vc.regs, r)
 			continue
 		}
@@ -83,9 +83,16 @@ type provideResult struct {
 // provides analyzes whether gadget g's exit state can satisfy reg=spec,
 // and at what cost. The Step field of returned demands is unfilled.
 func provides(b *expr.Builder, g *gadget.Gadget, reg isa.Reg, spec ValueSpec) (provideResult, bool) {
+	if int(reg) >= len(g.Effect.Regs) {
+		return provideResult{}, false // register unknown to this backend
+	}
 	e := g.Effect.Regs[reg]
-	if e == b.Var(symex.RegVarName(reg), 64) {
-		return provideResult{}, false // unchanged: not a producer
+	if e.Kind == expr.KindVar {
+		// Unchanged register (its exit value is its own entry variable, on
+		// any backend): not a producer.
+		if src, ok := symex.IsRegVar(e.Name); ok && src == reg {
+			return provideResult{}, false
+		}
 	}
 	vc := classifyVars(e)
 	if vc.other {
@@ -122,7 +129,7 @@ func provides(b *expr.Builder, g *gadget.Gadget, reg isa.Reg, spec ValueSpec) (p
 			return provideResult{}, false
 		}
 		src, ok := symex.IsRegVar(name)
-		if !ok || src == isa.RSP {
+		if !ok || symex.IsSPVar(name) {
 			return provideResult{}, false
 		}
 		switch spec.Kind {

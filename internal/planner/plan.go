@@ -130,6 +130,39 @@ func Goals() []Goal {
 	return []Goal{ExecveGoal(), MprotectGoal(0x601000), MmapGoal()}
 }
 
+// GoalsForISA returns the standard goals expressed in a backend's syscall
+// ABI. Syscall numbers follow the x86-64 Linux numbering on every backend
+// (the emulated OS model is ISA-independent); only the registers carrying
+// the number and the arguments differ. For "x64" (or empty) this yields
+// exactly Goals().
+func GoalsForISA(isaName string) []Goal {
+	be, ok := isa.ByName(isaName)
+	if !ok {
+		return Goals()
+	}
+	abi := be.Syscall()
+	mk := func(name string, num uint64, args []ValueSpec) Goal {
+		regs := map[isa.Reg]ValueSpec{abi.Num: ConstSpec(num)}
+		for i, spec := range args {
+			if i < len(abi.Args) {
+				regs[abi.Args[i]] = spec
+			}
+		}
+		return Goal{Name: name, Regs: regs}
+	}
+	return []Goal{
+		mk("execve", 59, []ValueSpec{
+			PointerSpec(append([]byte("/bin/sh"), 0)), ConstSpec(0), ConstSpec(0),
+		}),
+		mk("mprotect", 10, []ValueSpec{
+			ConstSpec(0x601000), ConstSpec(0x1000), ConstSpec(7),
+		}),
+		mk("mmap", 9, []ValueSpec{
+			ConstSpec(0), ConstSpec(0x1000), ConstSpec(7), ConstSpec(0x22),
+		}),
+	}
+}
+
 // Requirement is one open pre-condition in delta: the consumer step needs
 // reg to hold spec at its entry.
 type Requirement struct {

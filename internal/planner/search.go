@@ -385,8 +385,12 @@ func seeds(sc *searchCtx, goal Goal, t *tally) ([]*Plan, int) {
 		ok := true
 		for _, r := range regs {
 			spec := goal.Regs[r]
+			if int(r) >= len(sg.Effect.Regs) {
+				ok = false // register unknown to this backend
+				break
+			}
 			e := sg.Effect.Regs[r]
-			if e == pool.Builder.Var(symex.RegVarName(r), 64) {
+			if e == pool.Builder.Var(symex.RegVarNameOn(pool.Backend(), r), 64) {
 				// Unchanged by the syscall gadget: require at its entry.
 				p.Open = append(p.Open, Requirement{Step: 1, Reg: r, Spec: spec})
 				continue

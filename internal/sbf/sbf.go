@@ -11,8 +11,14 @@ import (
 	"sort"
 )
 
-// Magic identifies an SBF image.
+// Magic identifies an SBF image. Version 1 images are always x86-64;
+// version 2 adds an ISA tag after the magic. Marshal emits version 1 for
+// x86-64 binaries so pre-multi-ISA images and their content hashes are
+// byte-identical.
 var Magic = [4]byte{'S', 'B', 'F', '1'}
+
+// Magic2 identifies an SBF image carrying an explicit ISA tag.
+var Magic2 = [4]byte{'S', 'B', 'F', '2'}
 
 // SectionFlags describe section permissions.
 type SectionFlags uint8
@@ -58,6 +64,10 @@ type Binary struct {
 	Entry    uint64
 	Sections []Section
 	Symbols  map[string]uint64
+	// ISA names the instruction set the executable sections hold ("x64",
+	// "rv64"). Empty means x86-64: images that predate multi-ISA support
+	// carry no tag and are read back with ISA == "".
+	ISA string
 }
 
 // New returns an empty binary.
@@ -123,7 +133,12 @@ var errCorrupt = errors.New("sbf: corrupt image")
 // Marshal serializes the binary.
 func (b *Binary) Marshal() []byte {
 	var out []byte
-	out = append(out, Magic[:]...)
+	if b.ISA == "" || b.ISA == "x64" {
+		out = append(out, Magic[:]...)
+	} else {
+		out = append(out, Magic2[:]...)
+		out = appendString(out, b.ISA)
+	}
 	out = binary.LittleEndian.AppendUint64(out, b.Entry)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(b.Sections)))
 	for _, s := range b.Sections {
@@ -153,11 +168,16 @@ func Unmarshal(data []byte) (*Binary, error) {
 	if err := r.bytes(magic[:]); err != nil {
 		return nil, err
 	}
-	if magic != Magic {
+	if magic != Magic && magic != Magic2 {
 		return nil, fmt.Errorf("%w: bad magic %q", errCorrupt, magic)
 	}
 	b := New()
 	var err error
+	if magic == Magic2 {
+		if b.ISA, err = r.str(); err != nil {
+			return nil, err
+		}
+	}
 	if b.Entry, err = r.u64(); err != nil {
 		return nil, err
 	}

@@ -38,9 +38,11 @@ import (
 
 	"github.com/nofreelunch/gadget-planner/internal/benchprog"
 	"github.com/nofreelunch/gadget-planner/internal/gadget"
+	"github.com/nofreelunch/gadget-planner/internal/isa"
 	"github.com/nofreelunch/gadget-planner/internal/obfuscate"
 	"github.com/nofreelunch/gadget-planner/internal/pipeline"
 	"github.com/nofreelunch/gadget-planner/internal/planner"
+	"github.com/nofreelunch/gadget-planner/internal/sbf"
 	"github.com/nofreelunch/gadget-planner/internal/subsume"
 )
 
@@ -68,8 +70,13 @@ type Request struct {
 	Obf  string `json:"obf,omitempty"`
 	Seed int64  `json:"seed,omitempty"`
 	// SelfMod, if nonzero, applies the post-link self-modification
-	// transform with this XOR key.
+	// transform with this XOR key (x64 builds only).
 	SelfMod int `json:"selfmod,omitempty"`
+
+	// ISA selects the code-generation backend for source builds ("x64",
+	// "rv64", "rv64c"; empty = x64). Prebuilt binaries carry their own ISA
+	// tag and must leave this empty.
+	ISA string `json:"isa,omitempty"`
 
 	// Goal scopes the plan op: "execve", "mprotect", "mmap", or "all"
 	// (default).
@@ -97,6 +104,7 @@ type resolved struct {
 	prog   benchprog.Program
 	binary []byte // marshaled SBF when the request carries a binary
 	passes []obfuscate.Pass
+	isa    string // canonical backend name the analysis runs under
 	goals  []planner.Goal
 	popts  planner.Options
 	key    string
@@ -135,11 +143,24 @@ func (r Request) resolve() (*resolved, error) {
 		return nil, fmt.Errorf("serve: need exactly one of program, source, binary")
 	}
 
+	if _, ok := isa.ByName(r.ISA); !ok {
+		return nil, fmt.Errorf("serve: unknown isa %q", r.ISA)
+	}
+	rr.isa = isa.CanonicalISA(r.ISA)
+
 	var base string
 	if len(r.Binary) > 0 {
 		if r.Obf != "" {
 			return nil, fmt.Errorf("serve: obfuscation applies to source builds, not prebuilt binaries")
 		}
+		if r.ISA != "" {
+			return nil, fmt.Errorf("serve: prebuilt binaries carry their own ISA tag; leave isa empty")
+		}
+		peek, err := sbf.Unmarshal(r.Binary)
+		if err != nil {
+			return nil, fmt.Errorf("serve: bad binary: %w", err)
+		}
+		rr.isa = isa.CanonicalISA(peek.ISA)
 		sum := sha256.Sum256(r.Binary)
 		rr.binary = r.Binary
 		base = "bin:" + hex.EncodeToString(sum[:16])
@@ -164,21 +185,24 @@ func (r Request) resolve() (*resolved, error) {
 		for i, p := range passes {
 			names[i] = p.Name()
 		}
-		base = pipeline.BuildKey(rr.prog.Source, names, r.Seed)
+		base = pipeline.BuildKeyISA(rr.prog.Source, names, r.Seed, rr.isa)
 	}
 	if r.SelfMod != 0 {
+		if rr.isa != isa.DefaultISA {
+			return nil, fmt.Errorf("serve: selfmod is an x64-only transform (isa %q)", rr.isa)
+		}
 		base = pipeline.EncodeKey(base, byte(r.SelfMod))
 	}
 
 	switch rr.req.Op {
 	case OpCount:
-		rr.key = pipeline.CountKey(base, 0)
+		rr.key = pipeline.CountKeyISA(base, 0, rr.isa)
 	case OpAnalyze, OpPlan:
 		poolKey := pipeline.MinimizeKey(
-			pipeline.ExtractKey(base, gadget.Options{}), subsume.Options{})
+			pipeline.ExtractKey(base, gadget.Options{ISA: rr.isa}), subsume.Options{})
 		rr.key = poolKey
 		if rr.req.Op == OpPlan {
-			goals, err := goalsFor(r.Goal)
+			goals, err := goalsFor(r.Goal, rr.isa)
 			if err != nil {
 				return nil, err
 			}
@@ -209,12 +233,13 @@ func (r Request) Key() (string, error) {
 	return rr.key, nil
 }
 
-func goalsFor(name string) ([]planner.Goal, error) {
+func goalsFor(name, isaName string) ([]planner.Goal, error) {
+	all := planner.GoalsForISA(isaName)
 	switch name {
 	case "", "all":
-		return planner.Goals(), nil
+		return all, nil
 	}
-	for _, g := range planner.Goals() {
+	for _, g := range all {
 		if g.Name == name {
 			return []planner.Goal{g}, nil
 		}

@@ -58,7 +58,7 @@ func Run(ctx context.Context, store *pipeline.Store, parallelism int, req Reques
 		}
 	} else {
 		var info pipeline.Info
-		bin, info, err = pipeline.BuildCtx(ctx, store, rr.prog, rr.passes, rr.req.Seed)
+		bin, info, err = pipeline.BuildISACtx(ctx, store, rr.prog, rr.passes, rr.req.Seed, rr.isa)
 		if err != nil {
 			return nil, err
 		}

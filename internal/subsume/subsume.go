@@ -200,6 +200,7 @@ func Minimize(pool *gadget.Pool, opts Options) (*gadget.Pool, Stats) {
 
 	out := &gadget.Pool{
 		Builder: pool.Builder,
+		ISA:     pool.ISA,
 		Stats:   pool.Stats,
 	}
 	for _, ks := range kept {
@@ -301,7 +302,10 @@ func equalPost(scratch *expr.Builder, imp *expr.Importer, s *solver.Solver, g1, 
 
 	ident := true
 	var pending [][2]*expr.Node
-	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+	if len(e1.Regs) != len(e2.Regs) {
+		return false, false
+	}
+	for r := range e1.Regs {
 		if e1.Regs[r] == e2.Regs[r] {
 			continue
 		}
@@ -385,7 +389,7 @@ func fingerprint(g *gadget.Gadget, k int) uint64 {
 	h := fnv.New64a()
 	eff := g.Effect
 	var nodes []*expr.Node
-	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+	for r := range eff.Regs {
 		nodes = append(nodes, eff.Regs[r])
 	}
 	if eff.NextRIP != nil {

@@ -15,8 +15,9 @@ type Write struct {
 // Table II record content in expression form.
 type Effect struct {
 	// Regs holds the final symbolic value of every register in terms of the
-	// initial register variables and stack-input variables.
-	Regs [isa.NumRegs]*expr.Node
+	// initial register variables and stack-input variables, sized by the
+	// backend's register file (16 on x64, 32 on RV64).
+	Regs []*expr.Node
 	// StackWrites are stores the gadget performed, keyed by byte offset
 	// from the entry rsp.
 	StackWrites map[int64]Write
@@ -81,7 +82,9 @@ func run(s *State, steps []Step) (*Effect, error) {
 		NextRIP:    s.nextRIP,
 		End:        s.endKind,
 	}
-	eff.Regs = s.Regs
+	// Copy rather than alias: a reusable state's Regs slice is overwritten on
+	// the next path.
+	eff.Regs = append(make([]*expr.Node, 0, len(s.Regs)), s.Regs...)
 	if len(s.conds) > 0 {
 		eff.Conds = append(make([]*expr.Node, 0, len(s.conds)), s.conds...)
 	}
@@ -119,6 +122,16 @@ func (s *State) step(st *Step, last bool) error {
 	size := inst.Size
 	if size == 0 {
 		size = 8
+	}
+
+	// RISC-V three-operand ALU forms carry their second source in C. They
+	// never touch flags; x86-64 instructions never populate C.
+	if inst.C.Kind != isa.KindNone {
+		switch inst.Op {
+		case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor,
+			isa.OpShl, isa.OpShr, isa.OpSar, isa.OpImul, isa.OpSlt, isa.OpSltu:
+			return s.stepRV3(inst, next)
+		}
 	}
 
 	switch inst.Op {
@@ -292,7 +305,7 @@ func (s *State) step(st *Step, last bool) error {
 				return err
 			}
 		}
-		s.Regs[isa.RSP] = s.B.Sub(s.Regs[isa.RSP], s.c(8))
+		s.Regs[s.sp] = s.B.Sub(s.Regs[s.sp], s.c(8))
 		off, err := s.rspOffset()
 		if err != nil {
 			return err
@@ -308,7 +321,7 @@ func (s *State) step(st *Step, last bool) error {
 		if err != nil {
 			return err
 		}
-		s.Regs[isa.RSP] = s.B.Add(s.Regs[isa.RSP], s.c(8))
+		s.Regs[s.sp] = s.B.Add(s.Regs[s.sp], s.c(8))
 		return s.writeOperand(inst.A, 8, v, next)
 
 	case isa.OpRet:
@@ -320,9 +333,9 @@ func (s *State) step(st *Step, last bool) error {
 		if err != nil {
 			return err
 		}
-		s.Regs[isa.RSP] = s.B.Add(s.Regs[isa.RSP], s.c(8))
+		s.Regs[s.sp] = s.B.Add(s.Regs[s.sp], s.c(8))
 		if inst.A.Kind == isa.KindImm {
-			s.Regs[isa.RSP] = s.B.Add(s.Regs[isa.RSP], s.c(uint64(inst.A.Imm)))
+			s.Regs[s.sp] = s.B.Add(s.Regs[s.sp], s.c(uint64(inst.A.Imm)))
 		}
 		s.nextRIP = v
 		s.endKind = EndRet
@@ -342,6 +355,11 @@ func (s *State) step(st *Step, last bool) error {
 		v, err := s.readOperand(inst.A, 8, next)
 		if err != nil {
 			return err
+		}
+		// RISC-V register jumps (jalr x0) may carry a displacement in B;
+		// x86-64 jmp reg/mem never populates B.
+		if inst.B.Kind == isa.KindImm && inst.B.Imm != 0 {
+			v = s.B.Add(v, s.c(uint64(inst.B.Imm)))
 		}
 		s.nextRIP = v
 		s.endKind = EndJmpInd
@@ -371,13 +389,37 @@ func (s *State) step(st *Step, last bool) error {
 		return nil
 
 	case isa.OpCall:
+		if s.hasLink {
+			// Link-register ISAs store the return address in a register, not
+			// on the stack.
+			if inst.A.Kind == isa.KindImm {
+				if last {
+					return unsupported("direct call as gadget terminal")
+				}
+				// Followed (merged) direct call: control continues at the
+				// callee (the next step on the path).
+				s.Regs[s.link] = s.c(next)
+				return nil
+			}
+			v, err := s.readOperand(inst.A, 8, next)
+			if err != nil {
+				return err
+			}
+			if inst.B.Kind == isa.KindImm && inst.B.Imm != 0 {
+				v = s.B.Add(v, s.c(uint64(inst.B.Imm)))
+			}
+			s.Regs[s.link] = s.c(next)
+			s.nextRIP = v
+			s.endKind = EndCallInd
+			return nil
+		}
 		if inst.A.Kind == isa.KindImm {
 			if last {
 				return unsupported("direct call as gadget terminal")
 			}
 			// Followed (merged) direct call: push the return address and
 			// continue at the callee (the next step on the path).
-			s.Regs[isa.RSP] = s.B.Sub(s.Regs[isa.RSP], s.c(8))
+			s.Regs[s.sp] = s.B.Sub(s.Regs[s.sp], s.c(8))
 			off, err := s.rspOffset()
 			if err != nil {
 				return err
@@ -388,7 +430,7 @@ func (s *State) step(st *Step, last bool) error {
 		if err != nil {
 			return err
 		}
-		s.Regs[isa.RSP] = s.B.Sub(s.Regs[isa.RSP], s.c(8))
+		s.Regs[s.sp] = s.B.Sub(s.Regs[s.sp], s.c(8))
 		off, err := s.rspOffset()
 		if err != nil {
 			return err
@@ -405,7 +447,7 @@ func (s *State) step(st *Step, last bool) error {
 		return nil
 
 	case isa.OpLeave:
-		s.Regs[isa.RSP] = s.Regs[isa.RBP]
+		s.Regs[s.sp] = s.Regs[isa.RBP]
 		off, err := s.rspOffset()
 		if err != nil {
 			return err
@@ -414,7 +456,7 @@ func (s *State) step(st *Step, last bool) error {
 		if err != nil {
 			return err
 		}
-		s.Regs[isa.RSP] = s.B.Add(s.Regs[isa.RSP], s.c(8))
+		s.Regs[s.sp] = s.B.Add(s.Regs[s.sp], s.c(8))
 		s.Regs[isa.RBP] = v
 		return nil
 
@@ -459,12 +501,142 @@ func (s *State) step(st *Step, last bool) error {
 		}
 		return nil
 
-	case isa.OpIdiv:
-		return unsupported("idiv")
+	case isa.OpBcc:
+		// RISC-V conditional branch: compares two registers directly, no flags.
+		a, err := s.readOperand(inst.B, 8, next)
+		if err != nil {
+			return err
+		}
+		bv, err := s.readOperand(inst.C, 8, next)
+		if err != nil {
+			return err
+		}
+		var c *expr.Node
+		switch inst.Cond {
+		case isa.CondE:
+			c = s.B.Eq(a, bv)
+		case isa.CondNE:
+			c = s.B.Ne(a, bv)
+		case isa.CondL:
+			c = s.B.Slt(a, bv)
+		case isa.CondGE:
+			c = s.B.BNot(s.B.Slt(a, bv))
+		case isa.CondB:
+			c = s.B.Ult(a, bv)
+		case isa.CondAE:
+			c = s.B.BNot(s.B.Ult(a, bv))
+		default:
+			return unsupported("branch condition %d", inst.Cond)
+		}
+		if last {
+			if st.Taken {
+				s.conds = append(s.conds, c)
+				s.nextRIP = s.c(uint64(inst.A.Imm))
+			} else {
+				s.conds = append(s.conds, s.B.BNot(c))
+				s.nextRIP = s.c(inst.End())
+			}
+			s.endKind = EndJmpDir
+			return nil
+		}
+		if st.Taken {
+			s.conds = append(s.conds, c)
+		} else {
+			s.conds = append(s.conds, s.B.BNot(c))
+		}
+		return nil
+
+	case isa.OpJal:
+		// jal rd, target with rd outside {x0, ra} (those decode to
+		// OpJmp/OpCall): record the link value and continue at the target,
+		// which is the next step on a followed path.
+		if last {
+			return unsupported("jal as gadget terminal")
+		}
+		return s.writeOperand(inst.B, 8, s.c(next), next)
+
+	case isa.OpJalr:
+		// jalr rd, off(rs1) with rd outside {x0, ra}: an indirect jump that
+		// also records the link value.
+		v, err := s.readOperand(inst.A, 8, next)
+		if err != nil {
+			return err
+		}
+		if inst.C.Kind == isa.KindImm && inst.C.Imm != 0 {
+			v = s.B.Add(v, s.c(uint64(inst.C.Imm)))
+		}
+		if err := s.writeOperand(inst.B, 8, s.c(next), next); err != nil {
+			return err
+		}
+		s.nextRIP = v
+		s.endKind = EndJmpInd
+		return nil
+
+	case isa.OpLoad:
+		// Sign-extending sub-width load (lb/lh/lw).
+		v, err := s.readOperand(inst.B, size, next)
+		if err != nil {
+			return err
+		}
+		return s.writeOperand(inst.A, 8, s.signExtendTo64(v, size), next)
+
+	case isa.OpLoadU:
+		// Zero-extending sub-width load (lbu/lhu/lwu).
+		v, err := s.readOperand(inst.B, size, next)
+		if err != nil {
+			return err
+		}
+		return s.writeOperand(inst.A, 8, v, next)
+
+	case isa.OpAuipc:
+		return s.writeOperand(inst.A, 8, s.c(inst.Addr+uint64(inst.B.Imm)), next)
+
+	case isa.OpIdiv, isa.OpDiv, isa.OpDivU, isa.OpRem, isa.OpRemU:
+		return unsupported("%s", inst.Op)
 	case isa.OpHlt, isa.OpInt3:
 		return unsupported("%s", inst.Op)
 	}
 	return unsupported("op %s", inst.Op)
+}
+
+// stepRV3 executes a RISC-V three-operand ALU instruction: A = B op C, all
+// 64-bit, with no flag side effects.
+func (s *State) stepRV3(inst *isa.Inst, next uint64) error {
+	a, err := s.readOperand(inst.B, 8, next)
+	if err != nil {
+		return err
+	}
+	bv, err := s.readOperand(inst.C, 8, next)
+	if err != nil {
+		return err
+	}
+	b := s.B
+	var r *expr.Node
+	switch inst.Op {
+	case isa.OpAdd:
+		r = b.Add(a, bv)
+	case isa.OpSub:
+		r = b.Sub(a, bv)
+	case isa.OpAnd:
+		r = b.And(a, bv)
+	case isa.OpOr:
+		r = b.Or(a, bv)
+	case isa.OpXor:
+		r = b.Xor(a, bv)
+	case isa.OpShl:
+		r = b.Shl(a, b.And(bv, s.c(63)))
+	case isa.OpShr:
+		r = b.Lshr(a, b.And(bv, s.c(63)))
+	case isa.OpSar:
+		r = b.Ashr(a, b.And(bv, s.c(63)))
+	case isa.OpImul:
+		r = b.Mul(a, bv)
+	case isa.OpSlt:
+		r = b.Ite(b.Slt(a, bv), s.c(1), s.c(0))
+	case isa.OpSltu:
+		r = b.Ite(b.Ult(a, bv), s.c(1), s.c(0))
+	}
+	return s.writeOperand(inst.A, 8, r, next)
 }
 
 // signExtendTo64 sign-extends a value known to fit in the operand size.

@@ -25,22 +25,24 @@ import (
 type Executor struct {
 	st State
 
-	entryRegs                                   [isa.NumRegs]*expr.Node
+	entryRegs                                   []*expr.Node
 	entryZF, entrySF, entryOF, entryCF, entryPF *expr.Node
 }
 
-// NewExecutor returns an executor bound to b.
-func NewExecutor(b *expr.Builder) *Executor {
+// NewExecutor returns an executor bound to b, targeting x86-64.
+func NewExecutor(b *expr.Builder) *Executor { return NewExecutorISA(b, isa.X64) }
+
+// NewExecutorISA returns an executor bound to b for a backend.
+func NewExecutorISA(b *expr.Builder, be isa.Backend) *Executor {
 	ex := &Executor{}
-	for r := isa.Reg(0); r < isa.NumRegs; r++ {
-		ex.entryRegs[r] = b.Var(RegVarName(r), 64)
-	}
+	ex.entryRegs = EntryRegs(b, be)
 	ex.entryZF = b.Var("zf0", expr.BoolWidth)
 	ex.entrySF = b.Var("sf0", expr.BoolWidth)
 	ex.entryOF = b.Var("of0", expr.BoolWidth)
 	ex.entryCF = b.Var("cf0", expr.BoolWidth)
 	ex.entryPF = b.Var("pf0", expr.BoolWidth)
 	ex.st.B = b
+	ex.st.initBackend(be)
 	return ex
 }
 
@@ -48,9 +50,11 @@ func NewExecutor(b *expr.Builder) *Executor {
 // executor's scratch state.
 func (ex *Executor) Exec(steps []Step) (*Effect, error) {
 	s := &ex.st
-	s.Regs = ex.entryRegs
+	// Reuse the Regs backing array across paths; run() copies it into each
+	// Effect, so resetting it here never corrupts earlier results.
+	s.Regs = append(s.Regs[:0], ex.entryRegs...)
 	s.ZF, s.SF, s.OF, s.CF, s.PF = ex.entryZF, ex.entrySF, ex.entryOF, ex.entryCF, ex.entryPF
-	s.rsp0 = ex.entryRegs[isa.RSP]
+	s.rsp0 = ex.entryRegs[s.sp]
 	// stackVars and vc persist across paths: they cache interned nodes and
 	// traversal scratch, not per-path state.
 	s.writes = s.writes[:0]

@@ -49,8 +49,18 @@ func unsupported(format string, args ...any) error {
 }
 
 // RegVarName is the variable naming convention for initial register values:
-// "rax0", "rbx0", ...
+// "rax0", "rbx0", ... (x86-64 names; see RegVarNameOn for other backends).
 func RegVarName(r isa.Reg) string { return r.String() + "0" }
+
+// RegVarNameOn names the initial-value variable of a register under a
+// specific backend ("rax0" on x64, "a00"/"sp0"/... on RV64). For the x64
+// backend it matches RegVarName exactly.
+func RegVarNameOn(be isa.Backend, r isa.Reg) string { return be.RegName(r) + "0" }
+
+// IsSPVar reports whether a variable name denotes the entry stack pointer
+// of any backend ("rsp0" on x64, "sp0" on RV64). Planner components use it
+// to special-case stack-pointer dataflow without threading a backend.
+func IsSPVar(name string) bool { return name == "rsp0" || name == "sp0" }
 
 // StackVarName names the attacker-controllable value read from the stack at
 // the given byte offset from the entry rsp.
@@ -82,12 +92,14 @@ func ParseStackVar(name string) (int64, bool) {
 }
 
 // IsRegVar reports whether a variable name denotes an initial register value.
+// Register names never collide across backends, so the lookup is
+// backend-agnostic (x64 names are tried first).
 func IsRegVar(name string) (isa.Reg, bool) {
 	base, ok := strings.CutSuffix(name, "0")
 	if !ok {
 		return 0, false
 	}
-	return isa.RegByName(base)
+	return isa.AnyRegByName(base)
 }
 
 // DerefVarName names the unconstrained value obtained by dereferencing
@@ -150,8 +162,9 @@ type stackInput struct {
 
 // State is the symbolic machine state during gadget execution.
 type State struct {
-	B    *expr.Builder
-	Regs [isa.NumRegs]*expr.Node
+	B *expr.Builder
+	// Regs is sized by the backend's register file (16 on x64, 32 on RV64).
+	Regs []*expr.Node
 
 	// Flags as boolean nodes.
 	ZF, SF, OF, CF, PF *expr.Node
@@ -179,6 +192,15 @@ type State struct {
 	rsp0      *expr.Node
 	stackVars map[int64]*expr.Node
 	vc        expr.VarCollector
+
+	// Backend stack/ABI model: the stack-pointer register, and (for
+	// link-register ISAs) the call return-address register and hardwired
+	// zero register. Defaults describe x64 (sp=RSP, no link, no zero).
+	sp      isa.Reg
+	link    isa.Reg
+	hasLink bool
+	zero    isa.Reg
+	hasZero bool
 }
 
 // MemAccess is one controlled-memory dereference.
@@ -212,19 +234,46 @@ var _endKindNames = map[EndKind]string{
 // String names the termination kind.
 func (k EndKind) String() string { return _endKindNames[k] }
 
-// NewState returns the fully symbolic entry state.
-func NewState(b *expr.Builder) *State {
+// NewState returns the fully symbolic x86-64 entry state.
+func NewState(b *expr.Builder) *State { return NewStateISA(b, isa.X64) }
+
+// NewStateISA returns the fully symbolic entry state for a backend. A
+// hardwired zero register enters as the constant 0 rather than a variable.
+func NewStateISA(b *expr.Builder, be isa.Backend) *State {
 	s := &State{B: b}
-	for r := isa.Reg(0); r < isa.NumRegs; r++ {
-		s.Regs[r] = b.Var(RegVarName(r), 64)
-	}
+	s.initBackend(be)
+	s.Regs = EntryRegs(b, be)
 	s.ZF = b.Var("zf0", expr.BoolWidth)
 	s.SF = b.Var("sf0", expr.BoolWidth)
 	s.OF = b.Var("of0", expr.BoolWidth)
 	s.CF = b.Var("cf0", expr.BoolWidth)
 	s.PF = b.Var("pf0", expr.BoolWidth)
-	s.rsp0 = s.Regs[isa.RSP]
+	s.rsp0 = s.Regs[s.sp]
 	return s
+}
+
+// initBackend caches the backend's stack/ABI register model on the state.
+func (s *State) initBackend(be isa.Backend) {
+	s.sp = be.SP()
+	s.link, s.hasLink = be.LinkReg()
+	s.zero, s.hasZero = be.ZeroReg()
+}
+
+// EntryRegs interns the entry register values for a backend: one fresh
+// variable per register, except a hardwired zero register, which is the
+// constant 0. The builder interns nodes, so repeated calls return the same
+// pointers.
+func EntryRegs(b *expr.Builder, be isa.Backend) []*expr.Node {
+	regs := make([]*expr.Node, be.NumRegs())
+	zero, hasZero := be.ZeroReg()
+	for r := range regs {
+		if hasZero && isa.Reg(r) == zero {
+			regs[r] = b.Const(0, 64)
+			continue
+		}
+		regs[r] = b.Var(RegVarNameOn(be, isa.Reg(r)), 64)
+	}
+	return regs
 }
 
 func (s *State) c(v uint64) *expr.Node { return s.B.Const(v, 64) }
@@ -232,7 +281,7 @@ func (s *State) c(v uint64) *expr.Node { return s.B.Const(v, 64) }
 // rspOffset returns the constant byte offset of the current rsp from rsp0,
 // or an error if rsp has become symbolic.
 func (s *State) rspOffset() (int64, error) {
-	diff := s.B.Sub(s.Regs[isa.RSP], s.rsp0)
+	diff := s.B.Sub(s.Regs[s.sp], s.rsp0)
 	if !diff.IsConst() {
 		return 0, unsupported("rsp is not a constant offset from entry rsp")
 	}
@@ -327,6 +376,8 @@ func maskOf(size uint8) uint64 {
 	switch size {
 	case 1:
 		return 0xFF
+	case 2:
+		return 0xFFFF
 	case 4:
 		return 0xFFFF_FFFF
 	default:
@@ -418,6 +469,9 @@ func (s *State) readDeref(ea *expr.Node, size uint8) (*expr.Node, error) {
 func (s *State) writeOperand(op isa.Operand, size uint8, v *expr.Node, instEnd uint64) error {
 	switch op.Kind {
 	case isa.KindReg:
+		if s.hasZero && op.Reg == s.zero {
+			return nil // writes to the hardwired zero register vanish
+		}
 		switch size {
 		case 8:
 			s.Regs[op.Reg] = v

@@ -298,7 +298,7 @@ func TestDifferentialAgainstEmulator(t *testing.T) {
 		if err := m.Mem.WriteBytes(rsp0-0x200, initStack); err != nil {
 			t.Fatal(err)
 		}
-		var initRegs [isa.NumRegs]uint64
+		var initRegs [isa.MaxRegs]uint64
 		for r := range initRegs {
 			initRegs[r] = rng.Uint64()
 		}
